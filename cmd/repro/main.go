@@ -1,0 +1,142 @@
+// Command repro regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	repro -exp all                      # everything, to stdout
+//	repro -exp table5                   # one artifact
+//	repro -exp figure3 -replicates 100000
+//	repro -exp all -out results/        # also write per-table CSV files
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"nodevar/internal/core"
+)
+
+func main() {
+	var (
+		exp        = flag.String("exp", "all", "experiment id or 'all' (ids: "+idList()+")")
+		seed       = flag.Uint64("seed", 2015, "random seed")
+		samples    = flag.Int("samples", 2000, "trace resolution")
+		replicates = flag.Int("replicates", 20000, "Figure 3 bootstrap replicates (paper used 100000)")
+		trials     = flag.Int("trials", 200, "repeated measurements in the rules study")
+		out        = flag.String("out", "", "directory for CSV output (optional)")
+		svg        = flag.String("svg", "", "directory for SVG figure output (optional)")
+		md         = flag.String("md", "", "file for Markdown table output (optional)")
+	)
+	flag.Parse()
+
+	opts := core.Options{
+		Seed:              *seed,
+		TraceSamples:      *samples,
+		Replicates:        *replicates,
+		MeasurementTrials: *trials,
+	}
+
+	ids := core.IDs()
+	if *exp != "all" {
+		ids = []core.ID{core.ID(*exp)}
+	}
+	var mdFile *os.File
+	if *md != "" {
+		f, err := os.Create(*md)
+		if err != nil {
+			fatalf("creating %s: %v", *md, err)
+		}
+		defer f.Close()
+		mdFile = f
+	}
+	for _, id := range ids {
+		res, err := core.Run(id, opts)
+		if err != nil {
+			fatalf("running %s: %v", id, err)
+		}
+		if err := res.Render(os.Stdout); err != nil {
+			fatalf("rendering %s: %v", id, err)
+		}
+		fmt.Println()
+		if *out != "" {
+			if err := writeCSVs(*out, res); err != nil {
+				fatalf("writing %s: %v", id, err)
+			}
+		}
+		if *svg != "" {
+			if err := writeSVGs(*svg, res); err != nil {
+				fatalf("writing %s figures: %v", id, err)
+			}
+		}
+		if mdFile != nil {
+			fmt.Fprintf(mdFile, "## %s\n\n", res.Title())
+			for _, t := range res.Tables() {
+				if err := t.WriteMarkdown(mdFile); err != nil {
+					fatalf("writing markdown for %s: %v", id, err)
+				}
+				fmt.Fprintln(mdFile)
+			}
+		}
+	}
+}
+
+func writeSVGs(dir string, res core.Result) error {
+	figs := res.Figures()
+	if len(figs) == 0 {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, fig := range figs {
+		f, err := os.Create(filepath.Join(dir, fig.Name+".svg"))
+		if err != nil {
+			return err
+		}
+		if err := fig.WriteSVG(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func idList() string {
+	ids := core.IDs()
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = string(id)
+	}
+	return strings.Join(out, ", ")
+}
+
+func writeCSVs(dir string, res core.Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for i, t := range res.Tables() {
+		name := fmt.Sprintf("%s_%d.csv", res.ID(), i)
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		if err := t.WriteCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "repro: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,123 @@
+package nodevar_test
+
+// End-to-end smoke tests of the command-line tools: build each binary
+// once and drive its primary flag combinations, asserting on the output.
+// These complement the library tests by covering flag wiring and I/O.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildCmds compiles every cmd/ binary into a temp dir once per test run.
+func buildCmds(t *testing.T) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("skipping cmd integration in -short mode")
+	}
+	dir := t.TempDir()
+	out, err := exec.Command("go", "build", "-o", dir+string(os.PathSeparator), "./cmd/...").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build ./cmd/...: %v\n%s", err, out)
+	}
+	return dir
+}
+
+func run(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", filepath.Base(bin), args, err, out)
+	}
+	return string(out)
+}
+
+func TestCommandLineTools(t *testing.T) {
+	dir := buildCmds(t)
+	bin := func(name string) string { return filepath.Join(dir, name) }
+
+	t.Run("samplesize", func(t *testing.T) {
+		out := run(t, bin("samplesize"), "-nodes", "18688", "-cv", "0.02", "-accuracy", "0.01")
+		if !strings.Contains(out, "measure 16 nodes") {
+			t.Errorf("samplesize output:\n%s", out)
+		}
+		out = run(t, bin("samplesize"), "-table")
+		if !strings.Contains(out, "370") {
+			t.Errorf("samplesize -table output:\n%s", out)
+		}
+		out = run(t, bin("samplesize"), "-nodes", "210", "-rules")
+		if !strings.Contains(out, "4 nodes") || !strings.Contains(out, "21 nodes") {
+			t.Errorf("samplesize -rules output:\n%s", out)
+		}
+	})
+
+	t.Run("powersim", func(t *testing.T) {
+		out := run(t, bin("powersim"), "-list")
+		if !strings.Contains(out, "lcsc") || !strings.Contains(out, "sequoia") {
+			t.Errorf("powersim -list output:\n%s", out)
+		}
+		csv := filepath.Join(dir, "trace.csv")
+		out = run(t, bin("powersim"), "-system", "lcsc", "-samples", "500", "-csv", csv)
+		if !strings.Contains(out, "59.1") {
+			t.Errorf("powersim output:\n%s", out)
+		}
+		out = run(t, bin("powersim"), "-analyze", csv)
+		if !strings.Contains(out, "Level-1 gaming") {
+			t.Errorf("powersim -analyze output:\n%s", out)
+		}
+	})
+
+	t.Run("green500", func(t *testing.T) {
+		out := run(t, bin("green500"))
+		if !strings.Contains(out, "L-CSC") || !strings.Contains(out, "5271.8") {
+			t.Errorf("green500 output:\n%s", out)
+		}
+		out = run(t, bin("green500"), "-validate", "revised")
+		if !strings.Contains(out, "VIOLATION") && !strings.Contains(out, "requires") {
+			t.Errorf("green500 -validate output:\n%s", out)
+		}
+		out = run(t, bin("green500"), "-trend")
+		if !strings.Contains(out, "Nov 2014") {
+			t.Errorf("green500 -trend output:\n%s", out)
+		}
+		csv := filepath.Join(dir, "list.csv")
+		run(t, bin("green500"), "-csv", csv)
+		data, err := os.ReadFile(csv)
+		if err != nil || !strings.Contains(string(data), "rank,system") {
+			t.Errorf("green500 -csv file: %v\n%s", err, data)
+		}
+	})
+
+	t.Run("coverage", func(t *testing.T) {
+		out := run(t, bin("coverage"), "-replicates", "800", "-n", "5", "-levels", "0.95")
+		if !strings.Contains(out, "95% coverage") {
+			t.Errorf("coverage output:\n%s", out)
+		}
+	})
+
+	t.Run("repro", func(t *testing.T) {
+		svgDir := filepath.Join(dir, "svg")
+		outDir := filepath.Join(dir, "csv")
+		mdPath := filepath.Join(dir, "tables.md")
+		out := run(t, bin("repro"), "-exp", "table5",
+			"-out", outDir, "-svg", svgDir, "-md", mdPath)
+		if !strings.Contains(out, "370") {
+			t.Errorf("repro output:\n%s", out)
+		}
+		if _, err := os.Stat(filepath.Join(outDir, "table5_0.csv")); err != nil {
+			t.Errorf("missing CSV output: %v", err)
+		}
+		md, err := os.ReadFile(mdPath)
+		if err != nil || !strings.Contains(string(md), "| 0.5% | 62 |") {
+			t.Errorf("markdown output: %v\n%s", err, md)
+		}
+		// Figure experiment produces SVG files.
+		run(t, bin("repro"), "-exp", "figure4", "-svg", svgDir)
+		if _, err := os.Stat(filepath.Join(svgDir, "figure4_vid_efficiency.svg")); err != nil {
+			t.Errorf("missing SVG output: %v", err)
+		}
+	})
+}

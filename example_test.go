@@ -1,0 +1,98 @@
+package nodevar_test
+
+import (
+	"fmt"
+
+	"nodevar"
+)
+
+// The paper's headline planning question: how many nodes of a large
+// machine must be metered for a ±1% power estimate at 95% confidence?
+func ExampleRequiredSampleSize() {
+	n, err := nodevar.RequiredSampleSize(nodevar.Plan{
+		Confidence: 0.95,
+		Accuracy:   0.01,
+		CV:         0.02, // σ/μ of per-node power, Table 4's typical value
+		Population: 10000,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(n)
+	// Output: 16
+}
+
+// The rule the Green500/Top500 adopted from the paper.
+func ExampleRecommendedNodes() {
+	fmt.Println(nodevar.RecommendedNodes(210))   // small machine: 16-node floor... 10% = 21
+	fmt.Println(nodevar.RecommendedNodes(100))   // 16-node floor binds
+	fmt.Println(nodevar.RecommendedNodes(18688)) // 10% binds (Titan)
+	// Output:
+	// 21
+	// 16
+	// 1869
+}
+
+// Table 5 of the paper, regenerated.
+func ExamplePaperTable5() {
+	t := nodevar.PaperTable5()
+	fmt.Println(t.N[1]) // the λ = 1% row
+	// Output: [16 35 96]
+}
+
+// The old 1/64 rule's accuracy gap between small and large machines
+// (Section 4's opening example).
+func ExampleOldRuleNodes() {
+	for _, total := range []int{210, 18688} {
+		n := nodevar.OldRuleNodes(total)
+		acc, err := nodevar.ExpectedAccuracy(nodevar.Plan{
+			Confidence: 0.95, Accuracy: 0.01, CV: 0.02, Population: total,
+		}, n)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%d nodes -> measure %d -> ±%.1f%%\n", total, n, acc*100)
+	}
+	// Output:
+	// 210 nodes -> measure 4 -> ±3.2%
+	// 18688 nodes -> measure 292 -> ±0.2%
+}
+
+// Reproduce one Table 2 row from the calibrated simulator.
+func ExampleSegments() {
+	spec, err := nodevar.SystemByKey("lcsc")
+	if err != nil {
+		panic(err)
+	}
+	tr, err := nodevar.SystemTrace(spec, 2000)
+	if err != nil {
+		panic(err)
+	}
+	rep, err := nodevar.Segments(tr)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("core %.1f kW, first20 %.1f kW, last20 %.1f kW\n",
+		rep.Core.Kilowatts(), rep.First20.Kilowatts(), rep.Last20.Kilowatts())
+	// Output: core 59.1 kW, first20 63.9 kW, last20 46.8 kW
+}
+
+// Quantify how much the old Level 1 window rule could be gamed on the
+// L-CSC run (Section 3 of the paper).
+func ExampleAnalyzeGaming() {
+	spec, err := nodevar.SystemByKey("lcsc")
+	if err != nil {
+		panic(err)
+	}
+	tr, err := nodevar.SystemTrace(spec, 2000)
+	if err != nil {
+		panic(err)
+	}
+	rep, err := nodevar.AnalyzeGaming(spec.Name, tr)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("best legal window reports %.0f%% less power (+%.0f%% efficiency)\n",
+		rep.PowerReduction*100, rep.EfficiencyGain*100)
+	// Output: best legal window reports 17% less power (+20% efficiency)
+}

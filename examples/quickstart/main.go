@@ -1,0 +1,75 @@
+// Quickstart: plan a node sample, simulate a machine, measure it at the
+// EE HPC WG levels, and compare every report against the ground truth —
+// the library's core loop in ~80 lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nodevar"
+)
+
+func main() {
+	// 1. Plan: how many of a 512-node machine's nodes must we meter to
+	//    know its power within 1% at 95% confidence, assuming the
+	//    paper's typical σ/μ of 2%?
+	plan := nodevar.Plan{Confidence: 0.95, Accuracy: 0.01, CV: 0.02, Population: 512}
+	n, err := nodevar.RequiredSampleSize(plan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("plan: meter %d of 512 nodes for ±1%% at 95%%\n", n)
+	fmt.Printf("      (old 1/64 rule: %d nodes; revised rule: %d nodes)\n\n",
+		nodevar.OldRuleNodes(512), nodevar.RecommendedNodes(512))
+
+	// 2. Simulate: a 512-node GPU machine running a 1-hour in-core HPL,
+	//    the configuration where window choice matters most.
+	machine, err := nodevar.SimulateMachine(nodevar.MachineConfig{
+		Nodes:          512,
+		GPUStyle:       true,
+		NodeIdleWatts:  300,
+		RuntimeSeconds: 3600,
+		Seed:           42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	truth, err := machine.TruePower()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("machine: true core-phase power %s, Rmax %.1f TFLOPS\n\n",
+		truth, machine.RmaxGFlops/1000)
+
+	// 3. Measure: each methodology level, plus the paper's revised rule.
+	specs := []struct {
+		name string
+		spec nodevar.MethodologySpec
+	}{
+		{"Level 1 (original)", mustLevel(nodevar.Level1)},
+		{"Level 2", mustLevel(nodevar.Level2)},
+		{"Level 3", mustLevel(nodevar.Level3)},
+		{"Revised Level 1", nodevar.RevisedLevel1()},
+	}
+	fmt.Println("rule                 nodes  reported     error")
+	for _, s := range specs {
+		m, err := nodevar.Measure(machine.Target, s.spec, nodevar.MeasureOptions{Seed: 7})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rel, err := m.RelativeError(machine.Target)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-20s %5d  %-11s %+.2f%%\n", s.name, m.NodesUsed, m.SystemPower, rel*100)
+	}
+}
+
+func mustLevel(l nodevar.Level) nodevar.MethodologySpec {
+	s, err := nodevar.LevelSpec(l)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return s
+}

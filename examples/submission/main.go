@@ -1,0 +1,114 @@
+// Submission: prepare Green500 submissions for a simulated machine at
+// Levels 1-3, rank them against the November 2014 list, and validate
+// them against both the original and the revised rules.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nodevar"
+)
+
+func main() {
+	machine, err := nodevar.SimulateMachine(nodevar.MachineConfig{
+		Nodes:            640,
+		GPUStyle:         true,
+		NodeIdleWatts:    250,
+		NodeDynamicWatts: 900,
+		RuntimeSeconds:   2700,
+		Seed:             77,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	truth, err := machine.TruePower()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("our machine: 640 GPU nodes, Rmax %.1f TFLOPS, true power %s\n\n",
+		machine.RmaxGFlops/1000, truth)
+
+	// Take one measurement per level; the Level 1 measurement uses a
+	// deliberately favourable window to show what the old rules allowed.
+	type result struct {
+		name string
+		sub  nodevar.Submission
+		meas *nodevar.Measurement
+	}
+	var results []result
+	for _, lv := range []nodevar.Level{nodevar.Level1, nodevar.Level2, nodevar.Level3} {
+		spec, err := nodevar.LevelSpec(lv)
+		if err != nil {
+			log.Fatal(err)
+		}
+		placement := nodevar.PlaceRandom
+		if lv == nodevar.Level1 {
+			placement = nodevar.PlaceBest
+		}
+		m, err := nodevar.Measure(machine.Target, spec, nodevar.MeasureOptions{
+			Placement: placement,
+			Seed:      5,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		coreFraction := (m.WindowHi - m.WindowLo) / machine.Target.System.Duration()
+		results = append(results, result{
+			name: lv.String(),
+			meas: m,
+			sub: nodevar.Submission{
+				System:        fmt.Sprintf("our-machine (%v)", lv),
+				Site:          "example site",
+				RmaxGFlops:    machine.RmaxGFlops,
+				PowerWatts:    float64(m.SystemPower),
+				Level:         lv,
+				TotalNodes:    640,
+				MeasuredNodes: m.NodesUsed,
+				CoreFraction:  coreFraction,
+			},
+		})
+	}
+
+	fmt.Println("level    reported power  efficiency (GFLOPS/W)  vs truth")
+	for _, r := range results {
+		rel := (r.sub.PowerWatts - float64(truth)) / float64(truth)
+		fmt.Printf("%-8s %10.1f kW  %21.3f  %+.1f%%\n",
+			r.name, r.sub.PowerWatts/1000, float64(r.sub.Efficiency()), rel*100)
+	}
+
+	// The paper's recommended per-submission accuracy statements.
+	fmt.Println("\naccuracy statements (paper Section 6 recommendation):")
+	for _, r := range results {
+		a, err := nodevar.Assess(r.meas, machine.Target, 0.02, 0.95)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-8s %s\n", r.name, a)
+	}
+
+	// Where would the (gamed) Level 1 number have ranked in Nov 2014?
+	subs := append(nodevar.Nov2014Top10(), results[0].sub)
+	list, err := nodevar.NewList(subs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ngamed Level 1 submission would rank #%d of %d on the Nov 2014 list\n",
+		list.Rank(results[0].sub.System), len(list.Entries))
+
+	// Validation: the old rules accept the gamed submission; the revised
+	// rules reject it.
+	l1, _ := nodevar.LevelSpec(nodevar.Level1)
+	fmt.Println("\nvalidation of the Level 1 submission:")
+	report := func(name string, errs []error) {
+		if len(errs) == 0 {
+			fmt.Printf("  %-22s compliant\n", name)
+			return
+		}
+		for _, e := range errs {
+			fmt.Printf("  %-22s VIOLATION: %v\n", name, e)
+		}
+	}
+	report("original Level 1:", nodevar.ValidateSubmission(results[0].sub, l1))
+	report("revised rules:", nodevar.ValidateSubmission(results[0].sub, nodevar.RevisedLevel1()))
+}

@@ -1,0 +1,3 @@
+module nodevar
+
+go 1.22

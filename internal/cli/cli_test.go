@@ -1,0 +1,33 @@
+package cli
+
+import "testing"
+
+func TestParseInts(t *testing.T) {
+	got, err := ParseInts("3, 5,10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 3 || got[1] != 5 || got[2] != 10 {
+		t.Errorf("ParseInts = %v", got)
+	}
+	for _, bad := range []string{"", " ", "1,x", "1,,2"} {
+		if _, err := ParseInts(bad); err == nil {
+			t.Errorf("ParseInts(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseFloats(t *testing.T) {
+	got, err := ParseFloats("0.80,0.95, 0.99")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[1] != 0.95 {
+		t.Errorf("ParseFloats = %v", got)
+	}
+	for _, bad := range []string{"", "0.5,oops"} {
+		if _, err := ParseFloats(bad); err == nil {
+			t.Errorf("ParseFloats(%q) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,240 @@
+// Package cluster simulates the power behaviour of a homogeneous HPC
+// machine at node granularity: baseline and dynamic power, manufacturing
+// variability between "identical" nodes, thermal warm-up, fan-speed
+// regulation, DVFS operating points and PSU conversion losses. It is the
+// physical substrate on which the paper's measurement methodology is
+// exercised.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+
+	"nodevar/internal/power"
+)
+
+// FanModel describes a node's cooling fans. Fan power grows with the cube
+// of fan speed, and an automatic controller maps component temperature to
+// speed. The paper identifies auto-regulated fans as a node-variability
+// source larger than the processors themselves (Section 5), and pinning
+// fan speed as the mitigation.
+type FanModel struct {
+	// BaseWatts is fan power at minimum speed.
+	BaseWatts float64
+	// MaxWatts is fan power at maximum speed.
+	MaxWatts float64
+	// TempLow and TempHigh bound the controller's proportional band in
+	// °C: at or below TempLow the fans run at minimum speed, at or above
+	// TempHigh at maximum speed.
+	TempLow, TempHigh float64
+	// FixedSpeed, when in [0, 1], pins the fans at that speed fraction
+	// and disables the controller. A negative value (the default zero
+	// value is treated via NewAutoFan/NewFixedFan constructors) means
+	// automatic regulation.
+	FixedSpeed float64
+}
+
+// NewAutoFan returns an automatically regulated fan model.
+func NewAutoFan(baseW, maxW, tempLow, tempHigh float64) FanModel {
+	return FanModel{BaseWatts: baseW, MaxWatts: maxW, TempLow: tempLow, TempHigh: tempHigh, FixedSpeed: -1}
+}
+
+// NewFixedFan returns a fan model pinned at the given speed in [0, 1].
+func NewFixedFan(baseW, maxW, speed float64) FanModel {
+	return FanModel{BaseWatts: baseW, MaxWatts: maxW, TempLow: 0, TempHigh: 1, FixedSpeed: speed}
+}
+
+// Validate checks the fan model.
+func (f FanModel) Validate() error {
+	switch {
+	case f.BaseWatts < 0 || f.MaxWatts < f.BaseWatts:
+		return fmt.Errorf("cluster: fan watts (%v, %v) invalid", f.BaseWatts, f.MaxWatts)
+	case f.FixedSpeed > 1:
+		return fmt.Errorf("cluster: fixed fan speed %v > 1", f.FixedSpeed)
+	case f.FixedSpeed < 0 && f.TempHigh <= f.TempLow:
+		return fmt.Errorf("cluster: fan control band (%v, %v) invalid", f.TempLow, f.TempHigh)
+	}
+	return nil
+}
+
+// Speed returns the fan speed fraction in [0, 1] for the given component
+// temperature in °C.
+func (f FanModel) Speed(temp float64) float64 {
+	if f.FixedSpeed >= 0 {
+		return f.FixedSpeed
+	}
+	switch {
+	case temp <= f.TempLow:
+		return 0
+	case temp >= f.TempHigh:
+		return 1
+	default:
+		return (temp - f.TempLow) / (f.TempHigh - f.TempLow)
+	}
+}
+
+// Power returns the fan electrical power at the given temperature, using
+// the cubic fan affinity law.
+func (f FanModel) Power(temp float64) power.Watts {
+	s := f.Speed(temp)
+	return power.Watts(f.BaseWatts + (f.MaxWatts-f.BaseWatts)*s*s*s)
+}
+
+// PSUModel is a simple power-supply efficiency curve: efficiency peaks at
+// PeakEff for loads at or above HalfLoadKnee of rated capacity and droops
+// linearly below it, mimicking an 80 Plus-style curve. Wall (AC) power is
+// DC power divided by efficiency — the "upstream of power conversion"
+// measurement point of the methodology's aspect 4.
+type PSUModel struct {
+	// RatedWatts is the supply's rated DC output.
+	RatedWatts float64
+	// PeakEff is the conversion efficiency at high load, e.g. 0.94.
+	PeakEff float64
+	// LowLoadEff is the efficiency at zero load, e.g. 0.80.
+	LowLoadEff float64
+	// Knee is the load fraction above which efficiency is flat at
+	// PeakEff, e.g. 0.4.
+	Knee float64
+}
+
+// Validate checks the PSU model.
+func (p PSUModel) Validate() error {
+	switch {
+	case p.RatedWatts <= 0:
+		return errors.New("cluster: PSU RatedWatts must be positive")
+	case p.PeakEff <= 0 || p.PeakEff > 1:
+		return fmt.Errorf("cluster: PSU PeakEff %v outside (0, 1]", p.PeakEff)
+	case p.LowLoadEff <= 0 || p.LowLoadEff > p.PeakEff:
+		return fmt.Errorf("cluster: PSU LowLoadEff %v outside (0, PeakEff]", p.LowLoadEff)
+	case p.Knee <= 0 || p.Knee > 1:
+		return fmt.Errorf("cluster: PSU Knee %v outside (0, 1]", p.Knee)
+	}
+	return nil
+}
+
+// Efficiency returns conversion efficiency at the given DC load.
+func (p PSUModel) Efficiency(dc power.Watts) float64 {
+	frac := float64(dc) / p.RatedWatts
+	if frac >= p.Knee {
+		return p.PeakEff
+	}
+	if frac < 0 {
+		frac = 0
+	}
+	return p.LowLoadEff + (p.PeakEff-p.LowLoadEff)*frac/p.Knee
+}
+
+// WallPower converts DC power to AC wall power.
+func (p PSUModel) WallPower(dc power.Watts) power.Watts {
+	return power.Watts(float64(dc) / p.Efficiency(dc))
+}
+
+// Operating is a DVFS operating point relative to nominal.
+type Operating struct {
+	// FreqScale is f/f_nominal; performance scales linearly with it.
+	FreqScale float64
+	// VoltScale is V/V_nominal; dynamic power scales with its square.
+	VoltScale float64
+}
+
+// Nominal is the stock operating point.
+var Nominal = Operating{FreqScale: 1, VoltScale: 1}
+
+// Validate checks the operating point.
+func (o Operating) Validate() error {
+	if o.FreqScale <= 0 || o.VoltScale <= 0 {
+		return fmt.Errorf("cluster: operating point (%v, %v) must be positive", o.FreqScale, o.VoltScale)
+	}
+	return nil
+}
+
+// DynamicFactor returns the dynamic-power multiplier V²f of the operating
+// point.
+func (o Operating) DynamicFactor() float64 {
+	return o.VoltScale * o.VoltScale * o.FreqScale
+}
+
+// NodeModel describes one node's power behaviour at nominal settings.
+type NodeModel struct {
+	// IdleWatts is DC power at zero utilization, nominal settings, cold.
+	IdleWatts float64
+	// DynamicWatts is the additional DC power at full utilization.
+	DynamicWatts float64
+	// ThermalTau is the time constant (seconds) with which component
+	// temperature approaches its steady state.
+	ThermalTau float64
+	// TempRiseIdle and TempRiseLoad are the steady-state temperature rise
+	// above ambient (°C) at zero and full utilization.
+	TempRiseIdle, TempRiseLoad float64
+	// LeakagePerDegree is the fractional increase in silicon power per °C
+	// above ambient — the warm-up effect visible at the start of Figure 1.
+	LeakagePerDegree float64
+	// Fan is the cooling model.
+	Fan FanModel
+	// PSU is the supply model; power is reported at the wall.
+	PSU PSUModel
+}
+
+// Validate checks the node model.
+func (m NodeModel) Validate() error {
+	switch {
+	case m.IdleWatts < 0 || m.DynamicWatts <= 0:
+		return fmt.Errorf("cluster: node watts (%v, %v) invalid", m.IdleWatts, m.DynamicWatts)
+	case m.ThermalTau <= 0:
+		return errors.New("cluster: ThermalTau must be positive")
+	case m.TempRiseLoad < m.TempRiseIdle || m.TempRiseIdle < 0:
+		return fmt.Errorf("cluster: temperature rises (%v, %v) invalid", m.TempRiseIdle, m.TempRiseLoad)
+	case m.LeakagePerDegree < 0 || m.LeakagePerDegree > 0.05:
+		return fmt.Errorf("cluster: LeakagePerDegree %v outside [0, 0.05]", m.LeakagePerDegree)
+	}
+	if err := m.Fan.Validate(); err != nil {
+		return err
+	}
+	return m.PSU.Validate()
+}
+
+// SteadyTempRise returns the steady-state temperature rise for a given
+// utilization.
+func (m NodeModel) SteadyTempRise(util float64) float64 {
+	if util < 0 {
+		util = 0
+	}
+	if util > 1 {
+		util = 1
+	}
+	return m.TempRiseIdle + (m.TempRiseLoad-m.TempRiseIdle)*util
+}
+
+// Variation describes manufacturing spread across "identical" nodes.
+type Variation struct {
+	// IdleCV is the coefficient of variation of per-node idle power.
+	IdleCV float64
+	// DynamicCV is the coefficient of variation of per-node dynamic
+	// power (leakage and VID spread).
+	DynamicCV float64
+	// FanCV is the coefficient of variation of per-node fan power under
+	// automatic regulation (differences in airflow, dust, placement).
+	FanCV float64
+	// OutlierFraction is the fraction of nodes drawn from a wider
+	// distribution (OutlierSigma times the CV) to reproduce the tails
+	// visible in Figure 2.
+	OutlierFraction float64
+	// OutlierSigma is the widening factor for outlier nodes (default
+	// treated as 3 when OutlierFraction > 0 and OutlierSigma == 0).
+	OutlierSigma float64
+}
+
+// Validate checks the variation parameters.
+func (v Variation) Validate() error {
+	switch {
+	case v.IdleCV < 0 || v.DynamicCV < 0 || v.FanCV < 0:
+		return errors.New("cluster: variation CVs must be non-negative")
+	case v.IdleCV > 0.5 || v.DynamicCV > 0.5 || v.FanCV > 1:
+		return errors.New("cluster: variation CVs implausibly large")
+	case v.OutlierFraction < 0 || v.OutlierFraction > 0.2:
+		return fmt.Errorf("cluster: OutlierFraction %v outside [0, 0.2]", v.OutlierFraction)
+	case v.OutlierSigma < 0:
+		return errors.New("cluster: OutlierSigma must be non-negative")
+	}
+	return nil
+}

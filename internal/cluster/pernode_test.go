@@ -1,0 +1,113 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"nodevar/internal/rng"
+	"nodevar/internal/stats"
+)
+
+// scaledLoad is a minimal PerNodeLoad with fixed per-node scales.
+type scaledLoad struct {
+	dur    float64
+	base   float64
+	scales []float64
+}
+
+func (l scaledLoad) CoreDuration() float64 { return l.dur }
+func (l scaledLoad) NodeUtilization(i int, t float64) float64 {
+	if t < 0 || t >= l.dur {
+		return 0
+	}
+	u := l.base * l.scales[i]
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+func TestRunPerNodeMatchesBalancedWhenUniform(t *testing.T) {
+	c := mustCluster(t, 30)
+	scales := make([]float64, 30)
+	for i := range scales {
+		scales[i] = 1
+	}
+	balanced, err := Run(c, constLoad{dur: 300, util: 0.8}, RunOptions{SamplePeriod: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perNode, err := RunPerNode(c, scaledLoad{dur: 300, base: 0.8, scales: scales}, RunOptions{SamplePeriod: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := balanced.System.Average()
+	b, _ := perNode.System.Average()
+	if rel := math.Abs(float64(a-b)) / float64(a); rel > 0.005 {
+		t.Errorf("uniform per-node run differs from balanced: %v vs %v", b, a)
+	}
+	for i := range balanced.NodeAverages {
+		if rel := math.Abs(balanced.NodeAverages[i]-perNode.NodeAverages[i]) /
+			balanced.NodeAverages[i]; rel > 0.005 {
+			t.Fatalf("node %d average differs: %v vs %v",
+				i, perNode.NodeAverages[i], balanced.NodeAverages[i])
+		}
+	}
+}
+
+func TestRunPerNodeImbalanceWidensDistribution(t *testing.T) {
+	c := mustCluster(t, 400)
+	r := rng.New(5)
+	uniform := make([]float64, 400)
+	skewed := make([]float64, 400)
+	for i := range uniform {
+		uniform[i] = 1
+		skewed[i] = 0.25 + 0.25*r.ExpFloat64()
+	}
+	balanced, err := RunPerNode(c, scaledLoad{dur: 300, base: 0.9, scales: uniform}, RunOptions{SamplePeriod: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	imbalanced, err := RunPerNode(c, scaledLoad{dur: 300, base: 0.9, scales: skewed}, RunOptions{SamplePeriod: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cvBal := stats.CoefficientOfVariation(balanced.NodeAverages)
+	cvImb := stats.CoefficientOfVariation(imbalanced.NodeAverages)
+	if cvImb < 3*cvBal {
+		t.Errorf("imbalance did not widen node distribution: %v vs %v", cvImb, cvBal)
+	}
+	// The imbalanced distribution is visibly skewed; the balanced one is
+	// not.
+	if s := stats.Skewness(imbalanced.NodeAverages); s < 0.4 {
+		t.Errorf("imbalanced skewness = %v", s)
+	}
+	rep := stats.CheckNormality(imbalanced.NodeAverages)
+	if rep.ApproxNormal() {
+		t.Error("heavily imbalanced run should fail the near-normality gate")
+	}
+}
+
+func TestRunPerNodeErrors(t *testing.T) {
+	c := mustCluster(t, 4)
+	if _, err := RunPerNode(c, scaledLoad{dur: 0, base: 1, scales: []float64{1, 1, 1, 1}}, RunOptions{}); err == nil {
+		t.Error("zero duration accepted")
+	}
+	if _, err := RunPerNode(c, scaledLoad{dur: 10, base: 1, scales: []float64{1, 1, 1, 1}}, RunOptions{SamplePeriod: -1}); err == nil {
+		t.Error("negative period accepted")
+	}
+}
+
+func TestRunPerNodeTraceSpan(t *testing.T) {
+	c := mustCluster(t, 4)
+	res, err := RunPerNode(c, scaledLoad{dur: 33.7, base: 1, scales: []float64{1, 1, 1, 1}}, RunOptions{SamplePeriod: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.System.Start() != 0 || math.Abs(res.System.End()-33.7) > 1e-9 {
+		t.Errorf("trace span [%v, %v]", res.System.Start(), res.System.End())
+	}
+	if res.Duration != 33.7 {
+		t.Errorf("duration = %v", res.Duration)
+	}
+}

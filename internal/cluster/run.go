@@ -1,0 +1,220 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"nodevar/internal/power"
+	"nodevar/internal/sim"
+)
+
+// Load is a balanced workload as seen by the cluster: a core-phase
+// duration and a machine utilization at each instant of it. The paper's
+// inter-node analysis (Section 4) explicitly assumes balanced workloads
+// such as HPL, FIRESTARTER or MPrime, where all nodes see the same load.
+type Load interface {
+	// CoreDuration returns the length of the core phase in seconds.
+	CoreDuration() float64
+	// Utilization returns machine utilization in [0, 1] at core-phase
+	// time t.
+	Utilization(t float64) float64
+}
+
+// RunOptions configures a simulated run.
+type RunOptions struct {
+	// SamplePeriod is the simulation/sampling step in seconds
+	// (default 1, the methodology's Level 1/2 granularity).
+	SamplePeriod float64
+	// Operating is the DVFS operating point (default Nominal).
+	Operating Operating
+	// Governor, when non-nil, supplies a time-varying operating point and
+	// overrides Operating.
+	Governor Governor
+	// MaxSamples caps the number of simulation steps; the period is
+	// stretched for very long runs so memory stays bounded
+	// (default 200000).
+	MaxSamples int
+	// ColdStart starts components at ambient temperature instead of the
+	// idle-steady temperature, accentuating the warm-up ramp.
+	ColdStart bool
+}
+
+func (o *RunOptions) fill() error {
+	if o.SamplePeriod == 0 {
+		o.SamplePeriod = 1
+	}
+	if o.SamplePeriod < 0 {
+		return errors.New("cluster: SamplePeriod must be positive")
+	}
+	if o.MaxSamples == 0 {
+		o.MaxSamples = 200000
+	}
+	if o.MaxSamples < 16 {
+		return fmt.Errorf("cluster: MaxSamples %d too small", o.MaxSamples)
+	}
+	if o.Operating == (Operating{}) {
+		o.Operating = Nominal
+	}
+	return o.Operating.Validate()
+}
+
+// RunResult is a completed simulated run over the workload's core phase.
+type RunResult struct {
+	Cluster *Cluster
+	// System is the total compute-node wall power over the core phase.
+	System *power.Trace
+	// NodeAverages is each node's time-averaged wall power over the core
+	// phase — the quantity the paper histograms in Figure 2 and
+	// summarizes in Table 4.
+	NodeAverages []float64
+	// Duration is the core-phase length in seconds.
+	Duration float64
+
+	// Per-tick state kept for on-demand per-node traces.
+	times   []float64
+	thermal []float64 // 1 + leak*ΔT at each tick
+	utilDyn []float64 // util * V²f at each tick
+	fan     []float64 // controller fan power at each tick (scale 1.0)
+}
+
+// Run simulates the workload's core phase on the cluster.
+func Run(c *Cluster, load Load, opts RunOptions) (*RunResult, error) {
+	if err := opts.fill(); err != nil {
+		return nil, err
+	}
+	duration := load.CoreDuration()
+	if duration <= 0 {
+		return nil, errors.New("cluster: workload has non-positive core duration")
+	}
+	dt := opts.SamplePeriod
+	if steps := duration / dt; steps > float64(opts.MaxSamples-1) {
+		dt = duration / float64(opts.MaxSamples-1)
+	}
+
+	res := &RunResult{Cluster: c, Duration: duration}
+	m := &c.Model
+
+	// Thermal state: temperature rise above ambient.
+	tempRise := m.SteadyTempRise(0)
+	if opts.ColdStart {
+		tempRise = 0
+	}
+	dynFact := opts.Operating.DynamicFactor()
+
+	var eng sim.Engine
+	samples := make([]power.Sample, 0, int(duration/dt)+2)
+	var intThermal, intUtilDyn, intFan, intTime float64
+
+	step := func(e *sim.Engine) {
+		t := e.Now()
+		util := load.Utilization(t)
+		if util < 0 {
+			util = 0
+		}
+		if util > 1 {
+			util = 1
+		}
+		if opts.Governor != nil {
+			dynFact = opts.Governor.OperatingAt(t).DynamicFactor()
+		}
+		// Advance temperature toward the steady state for this load.
+		// (First tick uses the initial condition unchanged: dtEff = 0.)
+		st := state{util: util, tempRise: tempRise, dynFact: dynFact}
+		total := c.systemWallPower(st)
+		samples = append(samples, power.Sample{Time: t, Power: power.Watts(total)})
+
+		res.times = append(res.times, t)
+		th := 1 + m.LeakagePerDegree*tempRise
+		fanW := float64(m.Fan.Power(c.Ambient + tempRise))
+		res.thermal = append(res.thermal, th)
+		res.utilDyn = append(res.utilDyn, util*dynFact)
+		res.fan = append(res.fan, fanW)
+
+		// Accumulate basis integrals (rectangle rule over [t, t+dtEff)).
+		dtEff := dt
+		if t+dt > duration {
+			dtEff = duration - t
+		}
+		if dtEff > 0 {
+			intThermal += th * dtEff
+			intUtilDyn += util * dynFact * th * dtEff
+			intFan += fanW * dtEff
+			intTime += dtEff
+		}
+		// Thermal relaxation over the step.
+		steady := m.SteadyTempRise(util)
+		decay := 1 - expNeg(dtEff/m.ThermalTau)
+		tempRise += (steady - tempRise) * decay
+	}
+	eng.Every(0, dt, func(now float64) bool { return now <= duration }, step)
+	eng.Run()
+
+	// Ensure both the system trace and the per-node tick state extend to
+	// exactly the core-phase end.
+	if last := samples[len(samples)-1]; last.Time < duration {
+		util := load.Utilization(duration - 1e-9)
+		if util < 0 {
+			util = 0
+		}
+		if util > 1 {
+			util = 1
+		}
+		st := state{util: util, tempRise: tempRise, dynFact: dynFact}
+		samples = append(samples, power.Sample{
+			Time:  duration,
+			Power: power.Watts(c.systemWallPower(st)),
+		})
+		res.times = append(res.times, duration)
+		res.thermal = append(res.thermal, 1+m.LeakagePerDegree*tempRise)
+		res.utilDyn = append(res.utilDyn, util*dynFact)
+		res.fan = append(res.fan, float64(m.Fan.Power(c.Ambient+tempRise)))
+	}
+	tr, err := power.NewTrace(samples)
+	if err != nil {
+		return nil, err
+	}
+	res.System = tr
+
+	// Per-node time-averaged wall power from the basis integrals.
+	res.NodeAverages = make([]float64, c.N())
+	for i, ns := range c.nodes {
+		dcAvg := (m.IdleWatts*ns.idle*intThermal +
+			m.DynamicWatts*ns.dynamic*intUtilDyn +
+			ns.fan*intFan) / intTime
+		res.NodeAverages[i] = float64(m.PSU.WallPower(power.Watts(dcAvg)))
+	}
+	return res, nil
+}
+
+// NodeTrace reconstructs the wall-power trace of one node from the
+// retained per-tick state. It panics if i is out of range.
+func (r *RunResult) NodeTrace(i int) *power.Trace {
+	c := r.Cluster
+	if i < 0 || i >= c.N() {
+		panic(fmt.Sprintf("cluster: node index %d out of range [0, %d)", i, c.N()))
+	}
+	m := &c.Model
+	ns := c.nodes[i]
+	samples := make([]power.Sample, len(r.times))
+	for k, t := range r.times {
+		dc := m.IdleWatts*ns.idle*r.thermal[k] +
+			m.DynamicWatts*ns.dynamic*r.utilDyn[k]*r.thermal[k] +
+			ns.fan*r.fan[k]
+		samples[k] = power.Sample{Time: t, Power: m.PSU.WallPower(power.Watts(dc))}
+	}
+	tr, err := power.NewTrace(samples)
+	if err != nil {
+		// Unreachable: times came from a strictly increasing tick source.
+		panic(err)
+	}
+	return tr
+}
+
+// expNeg returns exp(-x) guarding the x<0 impossible case.
+func expNeg(x float64) float64 {
+	if x <= 0 {
+		return 1
+	}
+	return math.Exp(-x)
+}

@@ -1,0 +1,353 @@
+package core
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// fastOptions keeps integration tests quick while exercising every path.
+func fastOptions() Options {
+	return Options{
+		Seed:              2015,
+		TraceSamples:      800,
+		Replicates:        2500,
+		MeasurementTrials: 30,
+	}
+}
+
+func TestIDsStableAndComplete(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 13 {
+		t.Fatalf("experiment count = %d", len(ids))
+	}
+	want := map[ID]bool{
+		Table1: true, Table2: true, Table3: true, Table4: true, Table5: true,
+		Figure1: true, Figure2: true, Figure3: true, Figure4: true,
+		Gaming: true, Rules: true, Ablation: true, VarianceDecomp: true,
+	}
+	for _, id := range ids {
+		if !want[id] {
+			t.Errorf("unexpected id %q", id)
+		}
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if _, err := Run("tableX", fastOptions()); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func renderOf(t *testing.T, id ID) string {
+	t.Helper()
+	res, err := Run(id, fastOptions())
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if res.ID() != id || res.Title() == "" {
+		t.Fatalf("%s: bad metadata %q %q", id, res.ID(), res.Title())
+	}
+	var b strings.Builder
+	if err := res.Render(&b); err != nil {
+		t.Fatalf("%s render: %v", id, err)
+	}
+	if len(res.Tables()) == 0 {
+		t.Fatalf("%s: no tables", id)
+	}
+	return b.String()
+}
+
+func TestTable1Content(t *testing.T) {
+	out := renderOf(t, Table1)
+	for _, want := range []string{"Granularity", "1/64", "1/8", "full core phase", "16 nodes"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 1 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable2ReproducesPublishedNumbers(t *testing.T) {
+	out := renderOf(t, Table2)
+	// The published kilowatt values must appear verbatim in the
+	// reproduction columns (calibration is sub-0.5%, so rounding to one
+	// decimal matches the paper's own rounding).
+	for _, want := range []string{"398.7", "11503.3", "833.4", "873.8", "698.4", "59.1", "63.9", "46.8"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 2 missing published value %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable3Content(t *testing.T) {
+	out := renderOf(t, Table3)
+	for _, want := range []string{"FIRESTARTER", "MPrime", "Rodinia", "2x Intel X5560", "GPUs in 1000 nodes"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 3 missing %q", want)
+		}
+	}
+}
+
+func TestTable4ReproducesPublishedMoments(t *testing.T) {
+	out := renderOf(t, Table4)
+	for _, want := range []string{"581.93", "971.74", "366.84", "209.88", "90.74", "386.86", "11.66", "1.81"} {
+		if strings.Count(out, want) < 2 { // reproduced column and paper column
+			t.Errorf("Table 4 value %q not reproduced exactly:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable5ReproducesGridExactly(t *testing.T) {
+	res, err := Run(Table5, fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := res.Tables()[0]
+	want := [][]string{
+		{"0.5%", "62", "137", "370"},
+		{"1.0%", "16", "35", "96"},
+		{"1.5%", "7", "16", "43"},
+		{"2.0%", "4", "9", "24"},
+	}
+	if len(grid.Rows) != 4 {
+		t.Fatalf("grid rows = %d", len(grid.Rows))
+	}
+	for i, w := range want {
+		for j := range w {
+			if grid.Rows[i][j] != w[j] {
+				t.Errorf("Table5[%d][%d] = %q, want %q", i, j, grid.Rows[i][j], w[j])
+			}
+		}
+	}
+	// Intro examples: 4 nodes → 3.2%, 292 nodes → 0.2%.
+	out := renderOf(t, Table5)
+	for _, want := range []string{"±3.2%", "±0.2%", "11"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 5 extras missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure1RendersAllSystems(t *testing.T) {
+	out := renderOf(t, Figure1)
+	for _, want := range []string{"Colosse", "Sequoia-25", "Piz Daint", "L-CSC"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Figure 1 missing %q", want)
+		}
+	}
+	if !strings.Contains(out, "fraction of core phase") {
+		t.Error("Figure 1 chart missing")
+	}
+}
+
+func TestFigure2RendersHistograms(t *testing.T) {
+	out := renderOf(t, Figure2)
+	if strings.Count(out, "Figure 2 (") != 6 {
+		t.Errorf("expected 6 histograms:\n%s", out)
+	}
+	if !strings.Contains(out, "█") {
+		t.Error("no histogram bars rendered")
+	}
+	// All six are near-normal, the paper's premise for Section 4.
+	if strings.Contains(out, "false") {
+		t.Errorf("some dataset flagged non-normal:\n%s", out)
+	}
+}
+
+func TestFigure3CoverageCalibrated(t *testing.T) {
+	res, err := Run(Figure3, fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := res.Tables()[0]
+	if len(table.Rows) != len(figure3SampleSizes) {
+		t.Fatalf("rows = %d", len(table.Rows))
+	}
+	targets := []float64{0.80, 0.95, 0.99}
+	for _, row := range table.Rows {
+		for j, target := range targets {
+			cov, err := strconv.ParseFloat(row[j+1], 64)
+			if err != nil {
+				t.Fatalf("unparsable coverage %q", row[j+1])
+			}
+			// Monte-Carlo tolerance at 2500 replicates plus margin.
+			if diff := cov - target; diff < -0.035 || diff > 0.035 {
+				t.Errorf("n=%s level=%v coverage=%v miscalibrated", row[0], target, cov)
+			}
+		}
+	}
+}
+
+func TestFigure4Findings(t *testing.T) {
+	out := renderOf(t, Figure4)
+	for _, want := range []string{"774 MHz", "900 MHz", "fan-corrected", "VID"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Figure 4 missing %q", want)
+		}
+	}
+}
+
+func TestGamingStudy(t *testing.T) {
+	res, err := Run(Gaming, fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := res.Tables()[0]
+	if len(table.Rows) != 5 {
+		t.Fatalf("gaming rows = %d", len(table.Rows))
+	}
+	// Column 3 is the power reduction: Colosse ~0, TSUBAME-KFC ~10.9%.
+	byName := map[string][]string{}
+	for _, row := range table.Rows {
+		byName[row[0]] = row
+	}
+	parsePct := func(s string) float64 {
+		v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+		if err != nil {
+			t.Fatalf("unparsable percent %q", s)
+		}
+		return v
+	}
+	if v := parsePct(byName["Colosse"][3]); v > 0.5 {
+		t.Errorf("Colosse gaming = %v%%, want ~0", v)
+	}
+	if v := parsePct(byName["TSUBAME-KFC"][3]); v < 9 || v > 13 {
+		t.Errorf("TSUBAME-KFC power reduction = %v%%, paper says 10.9%%", v)
+	}
+	if v := parsePct(byName["L-CSC"][4]); v < 17 {
+		t.Errorf("L-CSC efficiency gain = %v%%, paper says 23.9%% (model reaches ~20%%)", v)
+	}
+	// With the DVFS valley modeled the full published figure is reached.
+	if v := parsePct(byName["L-CSC + 4.5% DVFS valley"][4]); v < 22 || v > 26 {
+		t.Errorf("L-CSC+DVFS efficiency gain = %v%%, paper says 23.9%%", v)
+	}
+	if v := parsePct(byName["Piz Daint"][3]); v < 8 {
+		t.Errorf("Piz Daint gaming = %v%%, expected substantial", v)
+	}
+}
+
+func TestRulesStudy(t *testing.T) {
+	res, err := Run(Rules, fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := res.Tables()[0]
+	if len(table.Rows) != 5 {
+		t.Fatalf("rules rows = %d", len(table.Rows))
+	}
+	spread := func(row []string) float64 {
+		v, err := strconv.ParseFloat(strings.TrimSuffix(row[6], "%"), 64)
+		if err != nil {
+			t.Fatalf("unparsable spread %q", row[6])
+		}
+		return v
+	}
+	var l1Random, l3, revised []string
+	for _, row := range table.Rows {
+		switch {
+		case strings.HasPrefix(row[0], "Level 1 (random"):
+			l1Random = row
+		case row[0] == "Level 3":
+			l3 = row
+		case strings.HasPrefix(row[0], "Revised"):
+			revised = row
+		}
+	}
+	// The paper's core claims, end to end: Level 1 permits a large
+	// spread; Level 3 is essentially exact; the revised rule shrinks the
+	// spread by an order of magnitude relative to Level 1.
+	if spread(l1Random) < 5 {
+		t.Errorf("Level 1 spread = %v%%, expected large on a GPU machine", spread(l1Random))
+	}
+	if spread(l3) > 0.01 {
+		t.Errorf("Level 3 spread = %v%%, want ~0", spread(l3))
+	}
+	if spread(revised) > spread(l1Random)/4 {
+		t.Errorf("revised rule spread %v%% not well below Level 1 %v%%",
+			spread(revised), spread(l1Random))
+	}
+	// Rule-size table includes the paper's flagship numbers.
+	out := renderOf(t, Rules)
+	if !strings.Contains(out, "1869") { // revised rule on Titan-size machine
+		t.Errorf("rules table missing Titan-scale revised count:\n%s", out)
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	results, err := RunAll(fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(IDs()) {
+		t.Fatalf("RunAll returned %d results", len(results))
+	}
+	for _, r := range results {
+		var b strings.Builder
+		if err := r.Render(&b); err != nil {
+			t.Errorf("%s: %v", r.ID(), err)
+		}
+		if b.Len() == 0 {
+			t.Errorf("%s rendered nothing", r.ID())
+		}
+	}
+}
+
+func TestAblationStudy(t *testing.T) {
+	res, err := Run(Ablation, fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tables()) != 5 {
+		t.Fatalf("ablation tables = %d", len(res.Tables()))
+	}
+	out := renderOf(t, Ablation)
+	for _, want := range []string{
+		"t coverage", "z under-coverage",
+		"heavily skewed", "bimodal",
+		"finite population correction",
+		"pinned to one speed",
+		"near-normal",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ablation output missing %q", want)
+		}
+	}
+	// The balance ablation flags the imbalanced run as non-normal and
+	// the balanced one as normal.
+	bal := res.Tables()[4]
+	if bal.Rows[0][3] != "true" || bal.Rows[1][3] != "false" {
+		t.Errorf("balance verdicts = %v / %v", bal.Rows[0], bal.Rows[1])
+	}
+}
+
+func TestVarianceDecomposition(t *testing.T) {
+	res, err := Run(VarianceDecomp, fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := res.Tables()[0]
+	if len(table.Rows) != 5 {
+		t.Fatalf("variance rows = %d", len(table.Rows))
+	}
+	sd := func(i int) float64 {
+		v, err := strconv.ParseFloat(strings.TrimSuffix(table.Rows[i][1], "%"), 64)
+		if err != nil {
+			t.Fatalf("unparsable sd %q", table.Rows[i][1])
+		}
+		return v
+	}
+	window, subset, instrument, allL1, revised := sd(0), sd(1), sd(2), sd(3), sd(4)
+	// The paper's hierarchy on a GPU machine: window placement dominates,
+	// then instrument/subset; the revised rule reduces the total to the
+	// instrument-limited floor.
+	if !(window > 5*subset && window > 5*instrument) {
+		t.Errorf("window sd %v does not dominate subset %v / instrument %v",
+			window, subset, instrument)
+	}
+	if allL1 < window/2 {
+		t.Errorf("combined L1 sd %v implausibly below window-only %v", allL1, window)
+	}
+	if revised > instrument*2+subset*2+0.5 {
+		t.Errorf("revised-rule sd %v not instrument-limited (instrument %v)", revised, instrument)
+	}
+}

@@ -1,0 +1,189 @@
+// Package core wires the substrates together into the paper's
+// experiments: one constructor per table and figure plus the gaming and
+// rules studies. Each experiment returns structured results and can
+// render itself as text tables and ASCII figures.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"nodevar/internal/report"
+)
+
+// ID names an experiment (a table or figure of the paper).
+type ID string
+
+// The reproducible artifacts.
+const (
+	Table1  ID = "table1"
+	Table2  ID = "table2"
+	Table3  ID = "table3"
+	Table4  ID = "table4"
+	Table5  ID = "table5"
+	Figure1 ID = "figure1"
+	Figure2 ID = "figure2"
+	Figure3 ID = "figure3"
+	Figure4 ID = "figure4"
+	Gaming  ID = "gaming"
+	Rules   ID = "rules"
+)
+
+// Options configures experiment execution.
+type Options struct {
+	// Seed fixes all randomness (default 2015, the paper's year).
+	Seed uint64
+	// TraceSamples is the resolution of generated traces (default 2000).
+	TraceSamples int
+	// Replicates is the Figure 3 bootstrap replicate count (default
+	// 20000; the paper used 100000).
+	Replicates int
+	// MeasurementTrials is how many repeated measurements the rules
+	// experiment takes per configuration (default 200).
+	MeasurementTrials int
+}
+
+func (o Options) fill() Options {
+	if o.Seed == 0 {
+		o.Seed = 2015
+	}
+	if o.TraceSamples <= 1 {
+		o.TraceSamples = 2000
+	}
+	if o.Replicates <= 0 {
+		o.Replicates = 20000
+	}
+	if o.MeasurementTrials <= 0 {
+		o.MeasurementTrials = 200
+	}
+	return o
+}
+
+// Figure is one renderable vector graphic of an experiment.
+type Figure struct {
+	// Name is a filesystem-friendly figure name.
+	Name string
+	// WriteSVG renders the figure as an SVG document.
+	WriteSVG func(w io.Writer) error
+}
+
+// Result is a completed experiment.
+type Result interface {
+	// ID identifies the artifact.
+	ID() ID
+	// Title is the human heading.
+	Title() string
+	// Render writes the full human-readable reproduction.
+	Render(w io.Writer) error
+	// Tables returns the machine-readable tables.
+	Tables() []*report.Table
+	// Figures returns the vector figures (may be empty).
+	Figures() []Figure
+}
+
+// Runner produces one experiment.
+type Runner func(Options) (Result, error)
+
+// registry maps IDs to runners.
+var registry = map[ID]Runner{
+	Table1:  runTable1,
+	Table2:  runTable2,
+	Table3:  runTable3,
+	Table4:  runTable4,
+	Table5:  runTable5,
+	Figure1: runFigure1,
+	Figure2: runFigure2,
+	Figure3: runFigure3,
+	Figure4: runFigure4,
+	Gaming:  runGaming,
+	Rules:   runRules,
+}
+
+// IDs returns every experiment id in a stable order.
+func IDs() []ID {
+	out := make([]ID, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ErrUnknownExperiment is returned for ids not in the registry.
+var ErrUnknownExperiment = errors.New("core: unknown experiment")
+
+// Run executes one experiment.
+func Run(id ID, opts Options) (Result, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownExperiment, id)
+	}
+	return r(opts.fill())
+}
+
+// RunAll executes every experiment in order.
+func RunAll(opts Options) ([]Result, error) {
+	var out []Result
+	for _, id := range IDs() {
+		res, err := Run(id, opts)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s: %w", id, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// baseResult implements the boilerplate of Result.
+type baseResult struct {
+	id     ID
+	title  string
+	tables []*report.Table
+	// extraRender, when set, appends figure output after the tables.
+	extraRender func(w io.Writer) error
+	figures     []Figure
+}
+
+func (b *baseResult) ID() ID                  { return b.id }
+func (b *baseResult) Title() string           { return b.title }
+func (b *baseResult) Tables() []*report.Table { return b.tables }
+func (b *baseResult) Figures() []Figure       { return b.figures }
+
+// lineFigure adapts a report.LineChart into a Figure.
+func lineFigure(name string, chart *report.LineChart) Figure {
+	return Figure{
+		Name: name,
+		WriteSVG: func(w io.Writer) error {
+			return chart.WriteSVG(w, report.SVGOptions{})
+		},
+	}
+}
+
+// histFigure adapts a report.HistogramChart into a Figure.
+func histFigure(name string, chart *report.HistogramChart) Figure {
+	return Figure{
+		Name: name,
+		WriteSVG: func(w io.Writer) error {
+			return chart.WriteSVG(w, report.SVGOptions{})
+		},
+	}
+}
+func (b *baseResult) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== %s ==\n\n", b.title); err != nil {
+		return err
+	}
+	for _, t := range b.tables {
+		if err := t.WriteText(w); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	if b.extraRender != nil {
+		return b.extraRender(w)
+	}
+	return nil
+}

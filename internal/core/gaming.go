@@ -1,0 +1,81 @@
+package core
+
+import (
+	"fmt"
+
+	"nodevar/internal/methodology"
+	"nodevar/internal/report"
+	"nodevar/internal/systems"
+)
+
+// gamingSystems are the runs analyzed for optimal-interval exposure: the
+// two documented gaming cases plus the flat control.
+var gamingSystems = []systems.Spec{systems.Colosse, systems.PizDaint, systems.LCSC, systems.TsubameKFC}
+
+// paperGaming holds the gaming magnitudes the paper documents.
+var paperGaming = map[string]string{
+	systems.Colosse.Name:    "~0% (flat)",
+	systems.PizDaint.Name:   ">10% window spread",
+	systems.LCSC.Name:       "+23.9% efficiency (incl. DVFS valley)",
+	systems.TsubameKFC.Name: "-10.9% power",
+}
+
+// runGaming reproduces Section 3's measurement-interval gaming analysis:
+// for each system, the most favourable legal Level-1 window versus the
+// full-core-phase truth, plus the effect of the paper's revised rule.
+func runGaming(opts Options) (Result, error) {
+	t := report.NewTable("Section 3: optimal-interval gaming under the original Level 1 timing rule",
+		"System", "True avg (kW)", "Best window (kW)", "Power reduction",
+		"Efficiency gain", "Paper")
+	addRow := func(name string, rep *methodology.GamingReport, paper string) {
+		t.AddRow(name,
+			fmt.Sprintf("%.1f", rep.TrueAvg.Kilowatts()),
+			fmt.Sprintf("%.1f", rep.BestWindowAvg.Kilowatts()),
+			fmt.Sprintf("%.1f%%", rep.PowerReduction*100),
+			fmt.Sprintf("%.1f%%", rep.EfficiencyGain*100),
+			paper,
+		)
+	}
+	for _, s := range gamingSystems {
+		tr, _, err := systems.CalibratedTrace(s, opts.TraceSamples)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := methodology.AnalyzeGaming(s.Name, tr)
+		if err != nil {
+			return nil, err
+		}
+		addRow(s.Name, rep, paperGaming[s.Name])
+
+		// The paper attributes the last few points of the L-CSC result
+		// to DVFS: "the power consumption will usually be lowest during
+		// the period where DVFS selects the lowest processor voltages".
+		// Model that with a modest 4.5% power valley late in the run —
+		// the best window then reaches the full published figure.
+		if s.Key == systems.LCSC.Key {
+			dipped, err := tr.WithValley(0.68, 0.94, 0.045)
+			if err != nil {
+				return nil, err
+			}
+			repDip, err := methodology.AnalyzeGaming(s.Name+" + DVFS valley", dipped)
+			if err != nil {
+				return nil, err
+			}
+			addRow(s.Name+" + 4.5% DVFS valley", repDip, "+23.9% efficiency")
+		}
+	}
+
+	// The fix: under the revised full-core-phase rule the "best window"
+	// is the whole run, so gaming headroom vanishes by construction.
+	fix := report.NewTable("The revised rule's effect",
+		"Rule", "Window", "Gaming headroom")
+	l1 := methodology.MustLevelSpec(methodology.Level1)
+	fix.AddRow("Original Level 1", l1.Timing.String(), "up to the best-window gains above")
+	fix.AddRow("Revised (paper/Green500 2015)", methodology.RevisedLevel1().Timing.String(), "none: window = truth")
+
+	return &baseResult{
+		id:     Gaming,
+		title:  "Gaming study — measurement-interval selection (Section 3)",
+		tables: []*report.Table{t, fix},
+	}, nil
+}

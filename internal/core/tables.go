@@ -1,0 +1,213 @@
+package core
+
+import (
+	"fmt"
+
+	"nodevar/internal/methodology"
+	"nodevar/internal/power"
+	"nodevar/internal/report"
+	"nodevar/internal/sampling"
+	"nodevar/internal/stats"
+	"nodevar/internal/systems"
+)
+
+// runTable1 renders the EE HPC WG level requirements (Table 1).
+func runTable1(Options) (Result, error) {
+	t := report.NewTable("Table 1: EE HPC WG methodology requirements by quality level",
+		"Aspect", "Level 1", "Level 2", "Level 3")
+	specs := []methodology.Spec{
+		methodology.MustLevelSpec(methodology.Level1),
+		methodology.MustLevelSpec(methodology.Level2),
+		methodology.MustLevelSpec(methodology.Level3),
+	}
+	gran := make([]string, 3)
+	timing := make([]string, 3)
+	fraction := make([]string, 3)
+	subsystems := make([]string, 3)
+	point := make([]string, 3)
+	for i, s := range specs {
+		if s.SamplePeriod == 0 {
+			gran[i] = "continuously integrated energy"
+		} else {
+			gran[i] = fmt.Sprintf("one sample per %.0f s", s.SamplePeriod)
+		}
+		timing[i] = s.Timing.String()
+		if s.WholeSystem {
+			fraction[i] = "all included subsystems"
+		} else {
+			fraction[i] = fmt.Sprintf("greater of 1/%.0f of compute subsystem or %.0f kW",
+				1/s.MinNodeFraction, s.MinMeasuredWatts/1000)
+		}
+		subsystems[i] = s.Subsystems
+		point[i] = s.PointOfMeasurement
+	}
+	t.AddRow("1a: Granularity", gran[0], gran[1], gran[2])
+	t.AddRow("1b: Timing", timing[0], timing[1], timing[2])
+	t.AddRow("2: Machine fraction", fraction[0], fraction[1], fraction[2])
+	t.AddRow("3: Subsystems", subsystems[0], subsystems[1], subsystems[2])
+	t.AddRow("4: Point of measurement", point[0], point[1], point[2])
+
+	rev := report.NewTable("Paper's revised Level 1 (Section 6, adopted for late 2015)",
+		"Aspect", "Revised requirement")
+	r := methodology.RevisedLevel1()
+	rev.AddRow("Timing", r.Timing.String())
+	rev.AddRow("Machine fraction", "greater of 16 nodes or 10% of compute nodes (>= 2 kW)")
+
+	return &baseResult{
+		id:     Table1,
+		title:  "Table 1 — measurement methodology levels",
+		tables: []*report.Table{t, rev},
+	}, nil
+}
+
+// table2Row holds one reproduced Table 2 row with its reference values.
+type table2Row struct {
+	System     string
+	Reproduced power.SegmentReport
+	Reference  systems.TraceTargets
+}
+
+// reproduceTable2 generates the calibrated traces and segment reports.
+func reproduceTable2(opts Options) ([]table2Row, []*power.Trace, error) {
+	var rows []table2Row
+	var traces []*power.Trace
+	for _, s := range systems.Table2Systems() {
+		tr, _, err := systems.CalibratedTrace(s, opts.TraceSamples)
+		if err != nil {
+			return nil, nil, err
+		}
+		rep, err := power.Segments(tr)
+		if err != nil {
+			return nil, nil, err
+		}
+		rows = append(rows, table2Row{System: s.Name, Reproduced: rep, Reference: *s.Trace})
+		traces = append(traces, tr)
+	}
+	return rows, traces, nil
+}
+
+// runTable2 reproduces Table 2: runtime and segment average power of the
+// four HPL runs.
+func runTable2(opts Options) (Result, error) {
+	rows, _, err := reproduceTable2(opts)
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable("Table 2: runtime and average power (kW) per HPL segment",
+		"System", "Runtime (h)", "Core phase", "First 20%", "Last 20%",
+		"Paper core", "Paper first", "Paper last", "Max dev")
+	for _, r := range rows {
+		maxDev := maxRel(r.Reproduced.Core.Kilowatts(), r.Reference.CoreKW,
+			r.Reproduced.First20.Kilowatts(), r.Reference.First20KW,
+			r.Reproduced.Last20.Kilowatts(), r.Reference.Last20KW)
+		t.AddRow(r.System,
+			fmt.Sprintf("%.1f", r.Reproduced.Duration/3600),
+			fmt.Sprintf("%.1f", r.Reproduced.Core.Kilowatts()),
+			fmt.Sprintf("%.1f", r.Reproduced.First20.Kilowatts()),
+			fmt.Sprintf("%.1f", r.Reproduced.Last20.Kilowatts()),
+			fmt.Sprintf("%.1f", r.Reference.CoreKW),
+			fmt.Sprintf("%.1f", r.Reference.First20KW),
+			fmt.Sprintf("%.1f", r.Reference.Last20KW),
+			fmt.Sprintf("%.2f%%", maxDev*100),
+		)
+	}
+	return &baseResult{
+		id:     Table2,
+		title:  "Table 2 — power variability over time (HPL segments)",
+		tables: []*report.Table{t},
+	}, nil
+}
+
+func maxRel(pairs ...float64) float64 {
+	var worst float64
+	for i := 0; i+1 < len(pairs); i += 2 {
+		if rel := stats.RelativeError(pairs[i], pairs[i+1]); rel > worst {
+			worst = rel
+		}
+	}
+	return worst
+}
+
+// runTable3 renders the test-system configuration table.
+func runTable3(Options) (Result, error) {
+	t := report.NewTable("Table 3: test systems",
+		"System", "CPUs per node", "RAM per node", "Components measured", "Workload")
+	for _, s := range []systems.Spec{
+		systems.Colosse, systems.CEAFat, systems.CEAThin,
+		systems.LRZ, systems.Titan, systems.TUDresden,
+	} {
+		t.AddRow(s.Name, s.CPUs, s.RAM, s.Measured, s.Workload)
+	}
+	return &baseResult{
+		id:     Table3,
+		title:  "Table 3 — test systems",
+		tables: []*report.Table{t},
+	}, nil
+}
+
+// runTable4 reproduces the per-node power statistics.
+func runTable4(opts Options) (Result, error) {
+	t := report.NewTable("Table 4: per-node power statistics",
+		"System", "Nodes/Blades (N)", "Sample mean (W)", "Std dev (W)", "sigma/mu",
+		"Paper mean", "Paper sd")
+	for _, s := range systems.Table4Systems() {
+		xs, err := systems.NodeDataset(s, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		sum := stats.Summarize(xs)
+		t.AddRow(s.Name,
+			fmt.Sprint(s.TotalNodes),
+			fmt.Sprintf("%.2f", sum.Mean),
+			fmt.Sprintf("%.2f", sum.StdDev),
+			fmt.Sprintf("%.2f%%", sum.CV*100),
+			fmt.Sprintf("%.2f", s.MeanWatts),
+			fmt.Sprintf("%.2f", s.StdWatts),
+		)
+	}
+	return &baseResult{
+		id:     Table4,
+		title:  "Table 4 — inter-node power variability",
+		tables: []*report.Table{t},
+	}, nil
+}
+
+// runTable5 reproduces the recommended-sample-size grid plus the
+// introduction's 1/64-rule accuracy examples.
+func runTable5(Options) (Result, error) {
+	grid := sampling.PaperTable5()
+	t := report.NewTable("Table 5: recommended sample sizes (N = 10000, 95% confidence)",
+		"accuracy λ", "σ/μ = 2%", "σ/μ = 3%", "σ/μ = 5%")
+	for i, lam := range grid.Accuracies {
+		t.AddRow(fmt.Sprintf("%.1f%%", lam*100),
+			fmt.Sprint(grid.N[i][0]), fmt.Sprint(grid.N[i][1]), fmt.Sprint(grid.N[i][2]))
+	}
+
+	intro := report.NewTable("Section 4 intro: accuracy of the old 1/64 rule at σ/μ = 2%, 95% confidence",
+		"System size", "1/64 rule nodes", "Relative accuracy")
+	for _, n := range []int{210, 18688} {
+		nodes := sampling.Level1Nodes(n)
+		acc, err := sampling.Plan{Confidence: 0.95, Accuracy: 0.01, CV: 0.02, Population: n}.
+			ExpectedAccuracy(nodes)
+		if err != nil {
+			return nil, err
+		}
+		intro.AddRow(fmt.Sprint(n), fmt.Sprint(nodes), fmt.Sprintf("±%.1f%%", acc*100))
+	}
+
+	conc := report.NewTable("Section 6: revised recommendation",
+		"Quantity", "Value")
+	n11, err := sampling.Plan{Confidence: 0.95, Accuracy: 0.015, CV: 0.025, Population: 100000}.
+		RequiredSampleSize()
+	if err != nil {
+		return nil, err
+	}
+	conc.AddRow("nodes for λ=1.5%, σ/μ=2.5%, very large N", fmt.Sprint(n11))
+	conc.AddRow("adopted rule", "max(16 nodes, 10% of system)")
+
+	return &baseResult{
+		id:     Table5,
+		title:  "Table 5 — recommended sample sizes",
+		tables: []*report.Table{t, intro, conc},
+	}, nil
+}

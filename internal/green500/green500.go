@@ -1,0 +1,258 @@
+// Package green500 models the Green500 / Top500 list machinery the paper
+// is embedded in: submissions with measured or derived power at a given
+// methodology level, efficiency and performance rankings, validation of
+// submissions against a methodology revision, and the November 2014 list
+// composition the introduction cites.
+package green500
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"nodevar/internal/methodology"
+	"nodevar/internal/power"
+	"nodevar/internal/report"
+)
+
+// Submission is one system's entry.
+type Submission struct {
+	System string `json:"system"`
+	Site   string `json:"site,omitempty"`
+	// RmaxGFlops is the HPL performance.
+	RmaxGFlops float64 `json:"rmax_gflops"`
+	// PowerWatts is the reported system power.
+	PowerWatts float64 `json:"power_watts"`
+	// Level is the EE HPC WG measurement level (0 when Derived).
+	Level methodology.Level `json:"level,omitempty"`
+	// Derived marks power numbers based on vendor specifications and
+	// extrapolation rather than measurement.
+	Derived bool `json:"derived,omitempty"`
+	// TotalNodes and MeasuredNodes document the extrapolation basis.
+	TotalNodes    int `json:"total_nodes,omitempty"`
+	MeasuredNodes int `json:"measured_nodes,omitempty"`
+	// CoreFraction is the fraction of the core phase the power
+	// measurement covered (1 = full run).
+	CoreFraction float64 `json:"core_fraction,omitempty"`
+}
+
+// Validate checks internal consistency.
+func (s Submission) Validate() error {
+	switch {
+	case s.System == "":
+		return errors.New("green500: submission needs a system name")
+	case s.RmaxGFlops <= 0:
+		return fmt.Errorf("green500: %s: Rmax must be positive", s.System)
+	case s.PowerWatts <= 0:
+		return fmt.Errorf("green500: %s: power must be positive", s.System)
+	case !s.Derived && (s.Level < methodology.Level1 || s.Level > methodology.Level3):
+		return fmt.Errorf("green500: %s: measured submission needs a level 1-3", s.System)
+	case s.MeasuredNodes < 0 || s.TotalNodes < 0 || s.MeasuredNodes > s.TotalNodes && s.TotalNodes > 0:
+		return fmt.Errorf("green500: %s: node counts inconsistent", s.System)
+	case s.CoreFraction < 0 || s.CoreFraction > 1:
+		return fmt.Errorf("green500: %s: core fraction outside [0, 1]", s.System)
+	}
+	return nil
+}
+
+// Efficiency returns the ranking metric in GFLOPS/W.
+func (s Submission) Efficiency() power.Efficiency {
+	return power.Efficiency(s.RmaxGFlops / s.PowerWatts)
+}
+
+// MFlopsPerWatt returns the Green500's traditional unit.
+func (s Submission) MFlopsPerWatt() float64 {
+	return s.RmaxGFlops * 1000 / s.PowerWatts
+}
+
+// Entry is a ranked submission.
+type Entry struct {
+	Rank int
+	Submission
+}
+
+// List is a ranked Green500-style list (descending efficiency).
+type List struct {
+	Entries []Entry
+}
+
+// NewList validates and ranks submissions by efficiency (ties broken by
+// name for determinism).
+func NewList(subs []Submission) (*List, error) {
+	for _, s := range subs {
+		if err := s.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	sorted := append([]Submission(nil), subs...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		ei, ej := sorted[i].Efficiency(), sorted[j].Efficiency()
+		if ei != ej {
+			return ei > ej
+		}
+		return sorted[i].System < sorted[j].System
+	})
+	l := &List{Entries: make([]Entry, len(sorted))}
+	for i, s := range sorted {
+		l.Entries[i] = Entry{Rank: i + 1, Submission: s}
+	}
+	return l, nil
+}
+
+// RankByPerformance returns the same submissions in Top500 order
+// (descending Rmax).
+func (l *List) RankByPerformance() []Entry {
+	out := make([]Entry, len(l.Entries))
+	copy(out, l.Entries)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].RmaxGFlops != out[j].RmaxGFlops {
+			return out[i].RmaxGFlops > out[j].RmaxGFlops
+		}
+		return out[i].System < out[j].System
+	})
+	for i := range out {
+		out[i].Rank = i + 1
+	}
+	return out
+}
+
+// Rank returns a system's efficiency rank (1-based), or 0 if absent.
+func (l *List) Rank(system string) int {
+	for _, e := range l.Entries {
+		if e.System == system {
+			return e.Rank
+		}
+	}
+	return 0
+}
+
+// Margin returns the fractional efficiency advantage of rank a over rank
+// b (1-based ranks, a < b). The paper observes that the Nov 2014 #1's
+// advantage over #3 is below the 20% measurement variability.
+func (l *List) Margin(a, b int) (float64, error) {
+	if a < 1 || b < 1 || a > len(l.Entries) || b > len(l.Entries) {
+		return 0, fmt.Errorf("green500: ranks (%d, %d) out of range", a, b)
+	}
+	ea := float64(l.Entries[a-1].Efficiency())
+	eb := float64(l.Entries[b-1].Efficiency())
+	return ea/eb - 1, nil
+}
+
+// WriteJSON serializes the list.
+func (l *List) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(l.Entries)
+}
+
+// ReadSubmissions parses a JSON array of submissions.
+func ReadSubmissions(r io.Reader) ([]Submission, error) {
+	var subs []Submission
+	if err := json.NewDecoder(r).Decode(&subs); err != nil {
+		return nil, fmt.Errorf("green500: decoding submissions: %w", err)
+	}
+	return subs, nil
+}
+
+// Composition summarizes how a list's power numbers were obtained.
+type Composition struct {
+	Total    int
+	Derived  int
+	Level1   int
+	Level2Up int
+}
+
+// Compose counts the provenance of a list's entries.
+func (l *List) Compose() Composition {
+	c := Composition{Total: len(l.Entries)}
+	for _, e := range l.Entries {
+		switch {
+		case e.Derived:
+			c.Derived++
+		case e.Level == methodology.Level1:
+			c.Level1++
+		default:
+			c.Level2Up++
+		}
+	}
+	return c
+}
+
+// Nov2014Composition is the November 2014 Green500 provenance the paper
+// reports: 267 submissions, 233 derived, 28 Level 1, 6 higher.
+var Nov2014Composition = Composition{Total: 267, Derived: 233, Level1: 28, Level2Up: 6}
+
+// Nov2014Top10 approximates the top of the November 2014 Green500 list
+// (efficiencies in GFLOPS/W from the published list; minor rounding).
+// It exists so the introduction's ranking-sensitivity observation can be
+// reproduced; it is illustrative data, not a primary source.
+func Nov2014Top10() []Submission {
+	mk := func(name, site string, mflopsW, powerKW float64) Submission {
+		watts := powerKW * 1000
+		return Submission{
+			System:       name,
+			Site:         site,
+			PowerWatts:   watts,
+			RmaxGFlops:   mflopsW * watts / 1000,
+			Level:        methodology.Level1,
+			CoreFraction: 0.2,
+		}
+	}
+	return []Submission{
+		mk("L-CSC", "GSI Helmholtz Center", 5271.8, 57.2),
+		mk("Suiren", "KEK", 4945.6, 37.8),
+		mk("TSUBAME-KFC", "Tokyo Institute of Technology", 4447.6, 35.4),
+		mk("Storm1", "Cray Inc.", 3962.7, 44.5),
+		mk("Wilkes", "University of Cambridge", 3631.7, 52.6),
+		mk("iDataPlex DX360M4", "CSIRO", 3543.3, 71.0),
+		mk("HA-PACS TCA", "University of Tsukuba", 3517.8, 78.8),
+		mk("Cartesius Accelerator Island", "SURFsara", 3459.5, 44.4),
+		mk("Piz Daint", "CSCS", 3185.9, 1753.7),
+		mk("romeo", "ROMEO HPC Center", 3131.1, 81.5),
+	}
+}
+
+// ValidateAgainst checks a submission against a methodology spec,
+// returning every rule violation found (empty when compliant). Derived
+// submissions are reported as non-compliant with any measured level.
+func ValidateAgainst(s Submission, spec methodology.Spec) []error {
+	var errs []error
+	if err := s.Validate(); err != nil {
+		return []error{err}
+	}
+	if s.Derived {
+		return []error{fmt.Errorf("green500: %s: derived numbers do not satisfy %v", s.System, spec.Level)}
+	}
+	if spec.Timing == methodology.FullRun && s.CoreFraction < 1 {
+		errs = append(errs, fmt.Errorf("green500: %s: measured %.0f%% of the core phase, %v requires all of it",
+			s.System, s.CoreFraction*100, spec.Level))
+	}
+	if s.TotalNodes > 0 {
+		nodeWatts := s.PowerWatts / float64(s.TotalNodes)
+		need, err := spec.RequiredNodes(s.TotalNodes, nodeWatts)
+		if err != nil {
+			errs = append(errs, err)
+		} else if s.MeasuredNodes < need {
+			errs = append(errs, fmt.Errorf("green500: %s: measured %d of %d nodes, %v requires >= %d",
+				s.System, s.MeasuredNodes, s.TotalNodes, spec.Level, need))
+		}
+	}
+	return errs
+}
+
+// WriteCSV serializes the ranked list as CSV.
+func (l *List) WriteCSV(w io.Writer) error {
+	t := report.NewTable("", "rank", "system", "site", "rmax_gflops", "power_watts", "mflops_per_watt", "level", "derived")
+	for _, e := range l.Entries {
+		level := ""
+		if !e.Derived {
+			level = fmt.Sprint(int(e.Level))
+		}
+		t.AddRow(fmt.Sprint(e.Rank), e.System, e.Site,
+			fmt.Sprintf("%g", e.RmaxGFlops), fmt.Sprintf("%g", e.PowerWatts),
+			fmt.Sprintf("%.1f", e.MFlopsPerWatt()), level, fmt.Sprint(e.Derived))
+	}
+	return t.WriteCSV(w)
+}

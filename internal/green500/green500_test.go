@@ -1,0 +1,223 @@
+package green500
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"nodevar/internal/methodology"
+)
+
+func validSub(name string, eff float64) Submission {
+	return Submission{
+		System:       name,
+		RmaxGFlops:   eff * 1000,
+		PowerWatts:   1000,
+		Level:        methodology.Level1,
+		CoreFraction: 0.2,
+	}
+}
+
+func TestSubmissionValidate(t *testing.T) {
+	good := validSub("a", 5)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Submission{
+		{},
+		{System: "x", RmaxGFlops: 0, PowerWatts: 1, Level: methodology.Level1},
+		{System: "x", RmaxGFlops: 1, PowerWatts: 0, Level: methodology.Level1},
+		{System: "x", RmaxGFlops: 1, PowerWatts: 1}, // measured without level
+		{System: "x", RmaxGFlops: 1, PowerWatts: 1, Level: methodology.Level1, TotalNodes: 5, MeasuredNodes: 6},
+		{System: "x", RmaxGFlops: 1, PowerWatts: 1, Level: methodology.Level1, CoreFraction: 1.5},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad submission %d accepted", i)
+		}
+	}
+	derived := Submission{System: "d", RmaxGFlops: 1, PowerWatts: 1, Derived: true}
+	if err := derived.Validate(); err != nil {
+		t.Errorf("derived submission rejected: %v", err)
+	}
+}
+
+func TestEfficiencyUnits(t *testing.T) {
+	s := validSub("x", 5.2718)
+	if math.Abs(float64(s.Efficiency())-5.2718) > 1e-12 {
+		t.Errorf("GFLOPS/W = %v", s.Efficiency())
+	}
+	if math.Abs(s.MFlopsPerWatt()-5271.8) > 1e-9 {
+		t.Errorf("MFLOPS/W = %v", s.MFlopsPerWatt())
+	}
+}
+
+func TestNewListRanksByEfficiency(t *testing.T) {
+	l, err := NewList([]Submission{validSub("slow", 2), validSub("fast", 6), validSub("mid", 4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Entries[0].System != "fast" || l.Entries[2].System != "slow" {
+		t.Errorf("order: %v", l.Entries)
+	}
+	if l.Rank("mid") != 2 || l.Rank("absent") != 0 {
+		t.Errorf("Rank lookup wrong")
+	}
+}
+
+func TestNewListRejectsInvalid(t *testing.T) {
+	if _, err := NewList([]Submission{{}}); err == nil {
+		t.Error("invalid submission accepted")
+	}
+}
+
+func TestRankByPerformance(t *testing.T) {
+	a := validSub("efficient-small", 6)
+	a.RmaxGFlops = 1000 // small machine
+	a.PowerWatts = 1000.0 / 6
+	b := validSub("big-hog", 1)
+	b.RmaxGFlops = 1e6
+	b.PowerWatts = 1e6
+	l, err := NewList([]Submission{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Entries[0].System != "efficient-small" {
+		t.Fatal("green ranking wrong")
+	}
+	top := l.RankByPerformance()
+	if top[0].System != "big-hog" || top[0].Rank != 1 {
+		t.Errorf("top500 ranking: %v", top)
+	}
+}
+
+func TestNov2014Top10(t *testing.T) {
+	subs := Nov2014Top10()
+	l, err := NewList(subs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Entries[0].System != "L-CSC" {
+		t.Errorf("#1 = %s", l.Entries[0].System)
+	}
+	if l.Entries[2].System != "TSUBAME-KFC" {
+		t.Errorf("#3 = %s", l.Entries[2].System)
+	}
+	// The paper: "the advantage of the current 1st ranked system over the
+	// current 3rd ranked system is less than 20%".
+	margin, err := l.Margin(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if margin <= 0 || margin >= 0.20 {
+		t.Errorf("1st-over-3rd margin = %.3f, paper says < 20%%", margin)
+	}
+}
+
+func TestMarginErrors(t *testing.T) {
+	l, _ := NewList([]Submission{validSub("a", 1)})
+	if _, err := l.Margin(1, 2); err == nil {
+		t.Error("out-of-range margin accepted")
+	}
+}
+
+func TestComposition(t *testing.T) {
+	subs := []Submission{
+		validSub("m1", 3),
+		{System: "d1", RmaxGFlops: 1, PowerWatts: 1, Derived: true},
+		{System: "d2", RmaxGFlops: 2, PowerWatts: 1, Derived: true},
+		{System: "l3", RmaxGFlops: 5, PowerWatts: 1, Level: methodology.Level3, CoreFraction: 1},
+	}
+	l, err := NewList(subs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := l.Compose()
+	if c.Total != 4 || c.Derived != 2 || c.Level1 != 1 || c.Level2Up != 1 {
+		t.Errorf("composition = %+v", c)
+	}
+	// The Nov 2014 numbers the paper cites.
+	n := Nov2014Composition
+	if n.Total != 267 || n.Derived != 233 || n.Level1 != 28 || n.Level2Up != 6 {
+		t.Errorf("Nov2014Composition = %+v", n)
+	}
+	if n.Derived+n.Level1+n.Level2Up != n.Total {
+		t.Error("Nov 2014 composition does not add up")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	l, err := NewList(Nov2014Top10())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := l.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	subs, err := ReadSubmissions(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(subs) != 10 || subs[0].System != "L-CSC" {
+		t.Errorf("round trip lost data: %d entries", len(subs))
+	}
+	if _, err := ReadSubmissions(strings.NewReader("{not json")); err == nil {
+		t.Error("bad JSON accepted")
+	}
+}
+
+func TestValidateAgainstRevisedRules(t *testing.T) {
+	// A classic Nov-2014-style Level 1 submission: 20% window, 1/64 nodes.
+	old := Submission{
+		System:        "legacy",
+		RmaxGFlops:    500000,
+		PowerWatts:    250000,
+		Level:         methodology.Level1,
+		TotalNodes:    5000,
+		MeasuredNodes: 79, // ceil(5000/64)
+		CoreFraction:  0.2,
+	}
+	// Compliant under the original Level 1...
+	if errs := ValidateAgainst(old, methodology.MustLevelSpec(methodology.Level1)); len(errs) != 0 {
+		t.Errorf("old submission fails original rules: %v", errs)
+	}
+	// ...but violates the paper's revised rules on both counts.
+	errs := ValidateAgainst(old, methodology.RevisedLevel1())
+	if len(errs) != 2 {
+		t.Fatalf("revised-rule violations = %v", errs)
+	}
+	// Fixing both makes it compliant.
+	fixed := old
+	fixed.CoreFraction = 1
+	fixed.MeasuredNodes = 500
+	if errs := ValidateAgainst(fixed, methodology.RevisedLevel1()); len(errs) != 0 {
+		t.Errorf("fixed submission still fails: %v", errs)
+	}
+}
+
+func TestValidateAgainstDerived(t *testing.T) {
+	d := Submission{System: "spec-sheet", RmaxGFlops: 1, PowerWatts: 1, Derived: true}
+	if errs := ValidateAgainst(d, methodology.MustLevelSpec(methodology.Level1)); len(errs) != 1 {
+		t.Errorf("derived validation = %v", errs)
+	}
+}
+
+func TestListWriteCSV(t *testing.T) {
+	l, err := NewList(Nov2014Top10())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b bytes.Buffer
+	if err := l.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "rank,system,") {
+		t.Errorf("csv header:\n%s", out)
+	}
+	if !strings.Contains(out, "L-CSC") || !strings.Contains(out, "5271.8") {
+		t.Errorf("csv content:\n%s", out)
+	}
+}

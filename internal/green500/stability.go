@@ -1,0 +1,215 @@
+package green500
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"nodevar/internal/methodology"
+	"nodevar/internal/rng"
+	"nodevar/internal/stats"
+)
+
+// StabilityResult quantifies how fragile a list's ranking is when each
+// entry's power number carries measurement error — the introduction's
+// point that a <20% efficiency margin between #1 and #3 is smaller than
+// the variation the old Level 1 rules permitted.
+type StabilityResult struct {
+	// Trials is the number of perturbed re-rankings simulated.
+	Trials int
+	// RelSD is the relative standard deviation applied to each entry's
+	// power.
+	RelSD float64
+	// TopChanged is the fraction of trials in which the #1 system
+	// changed.
+	TopChanged float64
+	// Top3Shuffled is the fraction of trials in which the top-3 set or
+	// order changed.
+	Top3Shuffled float64
+	// MeanDisplacement is the average |rank shift| per system per trial.
+	MeanDisplacement float64
+}
+
+// RankStability perturbs every submission's power with multiplicative
+// N(1, relSD) noise, re-ranks, and reports how often the leaderboard
+// moves. It returns an error for fewer than 3 entries or invalid
+// parameters.
+func RankStability(subs []Submission, relSD float64, trials int, seed uint64) (*StabilityResult, error) {
+	if len(subs) < 3 {
+		return nil, errors.New("green500: stability study needs at least 3 submissions")
+	}
+	if relSD < 0 || relSD > 0.5 {
+		return nil, errors.New("green500: relSD outside [0, 0.5]")
+	}
+	if trials < 1 {
+		return nil, errors.New("green500: trials must be positive")
+	}
+	baseline, err := NewList(subs)
+	if err != nil {
+		return nil, err
+	}
+	baseRank := map[string]int{}
+	for _, e := range baseline.Entries {
+		baseRank[e.System] = e.Rank
+	}
+	baseTop3 := []string{baseline.Entries[0].System, baseline.Entries[1].System, baseline.Entries[2].System}
+
+	r := rng.New(seed)
+	res := &StabilityResult{Trials: trials, RelSD: relSD}
+	var displacement float64
+	perturbed := make([]Submission, len(subs))
+	for trial := 0; trial < trials; trial++ {
+		copy(perturbed, subs)
+		for i := range perturbed {
+			f := r.Normal(1, relSD)
+			if f < 0.1 {
+				f = 0.1
+			}
+			perturbed[i].PowerWatts *= f
+		}
+		l, err := NewList(perturbed)
+		if err != nil {
+			return nil, err
+		}
+		if l.Entries[0].System != baseTop3[0] {
+			res.TopChanged++
+		}
+		if l.Entries[0].System != baseTop3[0] ||
+			l.Entries[1].System != baseTop3[1] ||
+			l.Entries[2].System != baseTop3[2] {
+			res.Top3Shuffled++
+		}
+		for _, e := range l.Entries {
+			displacement += math.Abs(float64(e.Rank - baseRank[e.System]))
+		}
+	}
+	n := float64(trials)
+	res.TopChanged /= n
+	res.Top3Shuffled /= n
+	res.MeanDisplacement = displacement / n / float64(len(subs))
+	return res, nil
+}
+
+// SyntheticListConfig controls the synthetic full-list generator.
+type SyntheticListConfig struct {
+	// Entries is the list size (default 267, the Nov 2014 count).
+	Entries int
+	// Seed fixes the draw.
+	Seed uint64
+}
+
+// SyntheticList generates a full Green500-scale list whose provenance
+// composition matches the November 2014 proportions the paper reports
+// (87% derived, 10% Level 1, 2% higher) and whose efficiency spectrum
+// spans the era's range (~0.2-5.3 GFLOPS/W, log-spread with a dense
+// mid-field). It is the substrate for list-wide experiments.
+func SyntheticList(cfg SyntheticListConfig) ([]Submission, error) {
+	n := cfg.Entries
+	if n == 0 {
+		n = Nov2014Composition.Total
+	}
+	if n < 10 {
+		return nil, errors.New("green500: synthetic list needs at least 10 entries")
+	}
+	r := rng.New(cfg.Seed)
+	subs := make([]Submission, n)
+	// Provenance proportions from Nov 2014.
+	derivedFrac := float64(Nov2014Composition.Derived) / float64(Nov2014Composition.Total)
+	l1Frac := float64(Nov2014Composition.Level1) / float64(Nov2014Composition.Total)
+	for i := range subs {
+		// Efficiency: log-normal-ish spectrum, clamped to the era.
+		eff := math.Exp(r.Normal(0, 0.55)) * 1.1 // GFLOPS/W, median ~1.1
+		if eff > 5.3 {
+			eff = 5.3 - r.Float64()*0.5
+		}
+		if eff < 0.15 {
+			eff = 0.15 + r.Float64()*0.1
+		}
+		// Rmax: heavy-tailed across ~3 orders of magnitude (TFLOPS).
+		rmaxT := math.Exp(r.Normal(0, 1.1)) * 250
+		powerW := rmaxT * 1000 / eff
+		u := r.Float64()
+		sub := Submission{
+			System:     syntheticName(i),
+			Site:       "synthetic site",
+			RmaxGFlops: rmaxT * 1000,
+			PowerWatts: powerW,
+		}
+		switch {
+		case u < derivedFrac:
+			sub.Derived = true
+		case u < derivedFrac+l1Frac:
+			sub.Level = methodology.Level1
+			sub.CoreFraction = 0.2
+		default:
+			sub.Level = methodology.Level2
+			sub.CoreFraction = 1
+		}
+		subs[i] = sub
+	}
+	// Deterministic order for reproducibility of downstream seeds.
+	sort.Slice(subs, func(i, j int) bool { return subs[i].System < subs[j].System })
+	return subs, nil
+}
+
+func syntheticName(i int) string {
+	const letters = "abcdefghijklmnopqrstuvwxyz"
+	name := make([]byte, 0, 8)
+	name = append(name, "sys-"...)
+	for {
+		name = append(name, letters[i%26])
+		i /= 26
+		if i == 0 {
+			break
+		}
+	}
+	return string(name)
+}
+
+// TrendPoint is one list edition's best efficiency.
+type TrendPoint struct {
+	// Edition is the list label, e.g. "Nov 2014".
+	Edition string
+	// Year is the edition year (June editions use .5 fractions omitted;
+	// November editions are whole years here).
+	Year int
+	// BestMFlopsPerWatt is the #1 system's efficiency.
+	BestMFlopsPerWatt float64
+}
+
+// EfficiencyTrend returns the November Green500 #1 efficiency by year —
+// the "architectural trending" series the paper lists among the use
+// cases of accurate system-level power characterization. Values are the
+// published list leaders (rounded).
+func EfficiencyTrend() []TrendPoint {
+	return []TrendPoint{
+		{Edition: "Nov 2007", Year: 2007, BestMFlopsPerWatt: 357.2},
+		{Edition: "Nov 2008", Year: 2008, BestMFlopsPerWatt: 536.2},
+		{Edition: "Nov 2009", Year: 2009, BestMFlopsPerWatt: 722.9},
+		{Edition: "Nov 2010", Year: 2010, BestMFlopsPerWatt: 1684.2},
+		{Edition: "Nov 2011", Year: 2011, BestMFlopsPerWatt: 2026.5},
+		{Edition: "Nov 2012", Year: 2012, BestMFlopsPerWatt: 2499.4},
+		{Edition: "Nov 2013", Year: 2013, BestMFlopsPerWatt: 4503.2},
+		{Edition: "Nov 2014", Year: 2014, BestMFlopsPerWatt: 5271.8},
+	}
+}
+
+// TrendGrowthRate fits an exponential to the efficiency trend and returns
+// the annual multiplicative growth factor (Koomey-style doubling
+// analysis).
+func TrendGrowthRate(points []TrendPoint) (float64, error) {
+	if len(points) < 2 {
+		return 0, errors.New("green500: trend needs at least 2 points")
+	}
+	xs := make([]float64, len(points))
+	ys := make([]float64, len(points))
+	for i, p := range points {
+		if p.BestMFlopsPerWatt <= 0 {
+			return 0, errors.New("green500: non-positive efficiency in trend")
+		}
+		xs[i] = float64(p.Year)
+		ys[i] = math.Log(p.BestMFlopsPerWatt)
+	}
+	slope, _, _ := stats.LinearFit(xs, ys)
+	return math.Exp(slope), nil
+}

@@ -1,0 +1,174 @@
+package green500
+
+import (
+	"testing"
+
+	"nodevar/internal/methodology"
+)
+
+func TestRankStabilityNoNoiseIsStable(t *testing.T) {
+	res, err := RankStability(Nov2014Top10(), 0, 200, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TopChanged != 0 || res.Top3Shuffled != 0 || res.MeanDisplacement != 0 {
+		t.Errorf("zero-noise stability = %+v", res)
+	}
+}
+
+func TestRankStabilityUnderMeasurementNoise(t *testing.T) {
+	subs := Nov2014Top10()
+	// At 5% measurement sd the top spot is fairly safe (L-CSC leads #2
+	// by ~6.6%), but at 15% — within what the old Level 1 permitted —
+	// the leaderboard churns.
+	low, err := RankStability(subs, 0.05, 2000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := RankStability(subs, 0.15, 2000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(high.TopChanged > low.TopChanged) {
+		t.Errorf("top-change did not grow with noise: %v vs %v", low.TopChanged, high.TopChanged)
+	}
+	if high.TopChanged < 0.2 {
+		t.Errorf("at 15%% noise #1 changed only %.1f%% of the time", high.TopChanged*100)
+	}
+	if high.Top3Shuffled < high.TopChanged {
+		t.Errorf("top-3 shuffle %v below top change %v", high.Top3Shuffled, high.TopChanged)
+	}
+	if high.MeanDisplacement <= low.MeanDisplacement {
+		t.Errorf("displacement did not grow: %v vs %v", low.MeanDisplacement, high.MeanDisplacement)
+	}
+}
+
+func TestRankStabilityErrors(t *testing.T) {
+	subs := Nov2014Top10()
+	if _, err := RankStability(subs[:2], 0.1, 10, 1); err == nil {
+		t.Error("tiny list accepted")
+	}
+	if _, err := RankStability(subs, -0.1, 10, 1); err == nil {
+		t.Error("negative sd accepted")
+	}
+	if _, err := RankStability(subs, 0.1, 0, 1); err == nil {
+		t.Error("zero trials accepted")
+	}
+}
+
+func TestSyntheticListComposition(t *testing.T) {
+	subs, err := SyntheticList(SyntheticListConfig{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(subs) != 267 {
+		t.Fatalf("default size = %d", len(subs))
+	}
+	l, err := NewList(subs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := l.Compose()
+	// Proportions within a few points of Nov 2014 (233/28/6 of 267).
+	if c.Derived < 200 || c.Derived > 250 {
+		t.Errorf("derived count = %d", c.Derived)
+	}
+	if c.Level1 < 15 || c.Level1 > 45 {
+		t.Errorf("Level 1 count = %d", c.Level1)
+	}
+	// Efficiency spectrum within the 2014 era.
+	top := float64(l.Entries[0].Efficiency())
+	bottom := float64(l.Entries[len(l.Entries)-1].Efficiency())
+	if top > 5.5 || top < 2.5 {
+		t.Errorf("top efficiency = %v", top)
+	}
+	if bottom > 0.8 || bottom < 0.1 {
+		t.Errorf("bottom efficiency = %v", bottom)
+	}
+}
+
+func TestSyntheticListUniqueNames(t *testing.T) {
+	subs, err := SyntheticList(SyntheticListConfig{Entries: 500, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, s := range subs {
+		if seen[s.System] {
+			t.Fatalf("duplicate name %q", s.System)
+		}
+		seen[s.System] = true
+		if err := s.Validate(); err != nil {
+			t.Fatalf("invalid synthetic submission: %v", err)
+		}
+	}
+}
+
+func TestSyntheticListErrors(t *testing.T) {
+	if _, err := SyntheticList(SyntheticListConfig{Entries: 5}); err == nil {
+		t.Error("tiny list accepted")
+	}
+}
+
+func TestSyntheticListValidatableAgainstRevisedRules(t *testing.T) {
+	subs, err := SyntheticList(SyntheticListConfig{Entries: 100, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every Level 1 entry (20% window) violates the revised timing rule;
+	// Level 2 entries (full run) do not.
+	rev := methodology.RevisedLevel1()
+	for _, s := range subs {
+		errs := ValidateAgainst(s, rev)
+		switch {
+		case s.Derived:
+			if len(errs) == 0 {
+				t.Errorf("%s: derived entry passed", s.System)
+			}
+		case s.Level == methodology.Level1:
+			if len(errs) == 0 {
+				t.Errorf("%s: short-window entry passed revised rules", s.System)
+			}
+		default:
+			if len(errs) != 0 {
+				t.Errorf("%s: full-run entry failed: %v", s.System, errs)
+			}
+		}
+	}
+}
+
+func TestEfficiencyTrend(t *testing.T) {
+	trend := EfficiencyTrend()
+	if len(trend) != 8 {
+		t.Fatalf("trend points = %d", len(trend))
+	}
+	for i := 1; i < len(trend); i++ {
+		if trend[i].BestMFlopsPerWatt <= trend[i-1].BestMFlopsPerWatt {
+			t.Errorf("efficiency regressed at %s", trend[i].Edition)
+		}
+		if trend[i].Year != trend[i-1].Year+1 {
+			t.Errorf("year gap at %s", trend[i].Edition)
+		}
+	}
+	// Nov 2014 leader is L-CSC's published number.
+	if last := trend[len(trend)-1]; last.BestMFlopsPerWatt != 5271.8 {
+		t.Errorf("Nov 2014 leader = %v", last.BestMFlopsPerWatt)
+	}
+}
+
+func TestTrendGrowthRate(t *testing.T) {
+	rate, err := TrendGrowthRate(EfficiencyTrend())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 357 -> 5272 over 7 years is ~1.47x/year.
+	if rate < 1.3 || rate > 1.7 {
+		t.Errorf("annual growth = %v, want ~1.47", rate)
+	}
+	if _, err := TrendGrowthRate(nil); err == nil {
+		t.Error("empty trend accepted")
+	}
+	if _, err := TrendGrowthRate([]TrendPoint{{Year: 1, BestMFlopsPerWatt: -1}, {Year: 2, BestMFlopsPerWatt: 1}}); err == nil {
+		t.Error("negative efficiency accepted")
+	}
+}

@@ -1,0 +1,141 @@
+package hpl
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleDat = `HPLinpack benchmark input file
+Innovative Computing Laboratory, University of Tennessee
+HPL.out      output file name (if any)
+6            device out (6=stdout,7=stderr,file)
+2            # of problems sizes (N)
+100000 200000 Ns
+2            # of NBs
+192 256      NBs
+0            PMAP process mapping (0=Row-,1=Column-major)
+1            # of process grids (P x Q)
+32           Ps
+64           Qs
+`
+
+func TestParseDat(t *testing.T) {
+	n, nb, err := ParseDat(strings.NewReader(sampleDat))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 100000 || nb != 192 {
+		t.Errorf("parsed (N, NB) = (%d, %d)", n, nb)
+	}
+}
+
+func TestParseDatErrors(t *testing.T) {
+	cases := map[string]string{
+		"too short":     "one\ntwo\nthree\n",
+		"bad count":     "c\nc\no\nd\nx bad\n100 Ns\n1\n192\n",
+		"zero problems": "c\nc\no\nd\n0 sizes\n100 Ns\n1\n192\n",
+		"no Ns":         "c\nc\no\nd\n1 sizes\nnothing here\n1\n192\n",
+		"bad nb count":  "c\nc\no\nd\n1 sizes\n100 Ns\nx\n192\n",
+		"zero nbs":      "c\nc\no\nd\n1 sizes\n100 Ns\n0\n192\n",
+		"no NB values":  "c\nc\no\nd\n1 sizes\n100 Ns\n1\nnope\n",
+		"negative N":    "c\nc\no\nd\n1 sizes\n-5 Ns\n1\n192\n",
+	}
+	for name, input := range cases {
+		if _, _, err := ParseDat(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestWriteDatRoundTrip(t *testing.T) {
+	c := baseConfig()
+	var b strings.Builder
+	if err := WriteDat(&b, c); err != nil {
+		t.Fatal(err)
+	}
+	n, nb, err := ParseDat(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("parsing generated dat: %v\n%s", err, b.String())
+	}
+	if n != c.MatrixOrder || nb != c.BlockSize {
+		t.Errorf("round trip (N, NB) = (%d, %d), want (%d, %d)", n, nb, c.MatrixOrder, c.BlockSize)
+	}
+}
+
+func TestWriteDatValidates(t *testing.T) {
+	var b strings.Builder
+	if err := WriteDat(&b, Config{}); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestSweepAndBestRun(t *testing.T) {
+	template := baseConfig()
+	runs, err := Sweep(template, []int{10000, 20000}, []int{128, 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 4 {
+		t.Fatalf("sweep runs = %d", len(runs))
+	}
+	// Larger N means higher Rmax (less relative tail/panel overhead).
+	if runs[0].Rmax >= runs[2].Rmax {
+		t.Errorf("Rmax did not grow with N: %v vs %v", runs[0].Rmax, runs[2].Rmax)
+	}
+	best, err := BestRun(runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range runs {
+		if r.Rmax > best.Rmax {
+			t.Errorf("BestRun missed a better run")
+		}
+	}
+	if _, err := Sweep(template, nil, []int{128}); err == nil {
+		t.Error("empty axis accepted")
+	}
+	if _, err := Sweep(template, []int{0}, []int{128}); err == nil {
+		t.Error("invalid N accepted")
+	}
+	if _, err := BestRun(nil); err == nil {
+		t.Error("empty BestRun accepted")
+	}
+}
+
+const sampleOut = `================================================================================
+HPLinpack 2.1  --  High-Performance Linpack benchmark
+================================================================================
+T/V                N    NB     P     Q               Time                 Gflops
+--------------------------------------------------------------------------------
+WR11C2R4      100000   192    32    64            1203.61              5.539e+02
+WR11C2R4      100000   256    32    64            1150.20              5.796e+02
+--------------------------------------------------------------------------------
+||Ax-b||_oo/(eps*(||A||_oo*||x||_oo+||b||_oo)*N)=        0.0031586 ...... PASSED
+================================================================================
+`
+
+func TestParseOutput(t *testing.T) {
+	results, err := ParseOutput(strings.NewReader(sampleOut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %d", len(results))
+	}
+	r := results[1]
+	if r.Variant != "WR11C2R4" || r.MatrixOrder != 100000 || r.BlockSize != 256 ||
+		r.P != 32 || r.Q != 64 || r.Seconds != 1150.20 || r.GFlops != 579.6 {
+		t.Errorf("parsed result = %+v", r)
+	}
+}
+
+func TestParseOutputErrors(t *testing.T) {
+	if _, err := ParseOutput(strings.NewReader("no results here\n")); err == nil {
+		t.Error("empty report accepted")
+	}
+	// Negative or garbage fields are skipped, not crashed on.
+	bad := "WR11C2R4 -5 192 32 64 100 5e2\nWR11C2R4 x y z w v u\n"
+	if _, err := ParseOutput(strings.NewReader(bad)); err == nil {
+		t.Error("report with only invalid rows accepted")
+	}
+}

@@ -1,0 +1,25 @@
+package hpl
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseDat checks the HPL.dat parser never panics and only accepts
+// positive geometry.
+func FuzzParseDat(f *testing.F) {
+	f.Add(sampleDat)
+	f.Add("")
+	f.Add("a\nb\nc\nd\n1 x\n100\n1\n192\n")
+	f.Add("a\nb\nc\nd\n-1\n100\n1\n192\n")
+	f.Add(strings.Repeat("0\n", 20))
+	f.Fuzz(func(t *testing.T, input string) {
+		n, nb, err := ParseDat(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if n <= 0 || nb <= 0 {
+			t.Fatalf("accepted non-positive geometry (%d, %d)", n, nb)
+		}
+	})
+}

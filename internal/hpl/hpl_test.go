@@ -1,0 +1,252 @@
+package hpl
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func baseConfig() Config {
+	return Config{
+		MatrixOrder:    20000,
+		BlockSize:      200,
+		Nodes:          100,
+		NodePeak:       500,
+		PeakEfficiency: 0.8,
+		TailKnee:       0.01,
+		PanelFraction:  0.2,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := baseConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.MatrixOrder = 0 },
+		func(c *Config) { c.BlockSize = 0 },
+		func(c *Config) { c.BlockSize = c.MatrixOrder + 1 },
+		func(c *Config) { c.Nodes = 0 },
+		func(c *Config) { c.NodePeak = 0 },
+		func(c *Config) { c.PeakEfficiency = 0 },
+		func(c *Config) { c.PeakEfficiency = 1.2 },
+		func(c *Config) { c.TailKnee = -1 },
+		func(c *Config) { c.PanelFraction = 0 },
+		func(c *Config) { c.PanelFraction = 1.5 },
+		func(c *Config) { c.SetupTime = -1 },
+	}
+	for i, mutate := range bad {
+		c := baseConfig()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestSimulateStepStructure(t *testing.T) {
+	run, err := Simulate(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Steps) != 100 { // 20000/200
+		t.Fatalf("steps = %d", len(run.Steps))
+	}
+	// Steps are contiguous in time and trailing matrix shrinks by NB.
+	for i, s := range run.Steps {
+		if s.Trailing != 20000-i*200 {
+			t.Fatalf("step %d trailing = %d", i, s.Trailing)
+		}
+		if i > 0 {
+			prev := run.Steps[i-1]
+			if math.Abs(s.Start-(prev.Start+prev.Duration)) > 1e-9 {
+				t.Fatalf("step %d not contiguous", i)
+			}
+		}
+		if s.Duration <= 0 || s.Utilization <= 0 || s.Utilization > 1 {
+			t.Fatalf("step %d invalid: %+v", i, s)
+		}
+	}
+	last := run.Steps[len(run.Steps)-1]
+	if got := last.Start + last.Duration; math.Abs(got-run.CoreDuration) > 1e-9 {
+		t.Errorf("CoreDuration %v != end of last step %v", run.CoreDuration, got)
+	}
+}
+
+func TestFlopCountNearTheory(t *testing.T) {
+	run, err := Simulate(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stepFlops float64
+	for _, s := range run.Steps {
+		stepFlops += s.Flops
+	}
+	// Sum of 2*NB*m² over steps approximates 2/3 N³ within a few percent
+	// for NB << N.
+	if rel := math.Abs(stepFlops-run.TotalFlops) / run.TotalFlops; rel > 0.05 {
+		t.Errorf("step flops off theory by %.2f%%", rel*100)
+	}
+}
+
+func TestRmaxBelowPeakAboveHalfEff(t *testing.T) {
+	c := baseConfig()
+	run, err := Simulate(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	machinePeak := float64(c.NodePeak) * float64(c.Nodes)
+	if float64(run.Rmax) >= machinePeak*c.PeakEfficiency {
+		t.Errorf("Rmax %v >= efficiency-limited peak %v", run.Rmax, machinePeak*c.PeakEfficiency)
+	}
+	if float64(run.Rmax) < machinePeak*c.PeakEfficiency*0.5 {
+		t.Errorf("Rmax %v implausibly low", run.Rmax)
+	}
+}
+
+func TestUtilizationMonotoneDecline(t *testing.T) {
+	run, err := Simulate(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(run.Steps); i++ {
+		if run.Steps[i].Utilization > run.Steps[i-1].Utilization {
+			t.Fatalf("utilization increased at step %d", i)
+		}
+	}
+	// First step is near 1 (m = N), last step near the knee floor.
+	if run.Steps[0].Utilization < 0.95 {
+		t.Errorf("first-step utilization = %v", run.Steps[0].Utilization)
+	}
+	if last := run.Steps[len(run.Steps)-1].Utilization; last > 0.5 {
+		t.Errorf("last-step utilization = %v, expected a pronounced tail", last)
+	}
+}
+
+func TestUtilizationAt(t *testing.T) {
+	run, err := Simulate(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := run.UtilizationAt(-1); got != 0 {
+		t.Errorf("utilization before run = %v", got)
+	}
+	if got := run.UtilizationAt(run.CoreDuration + 1); got != 0 {
+		t.Errorf("utilization after run = %v", got)
+	}
+	if got := run.UtilizationAt(0); got != run.Steps[0].Utilization {
+		t.Errorf("utilization at 0 = %v", got)
+	}
+	// Mid-step lookup returns that step's utilization.
+	s := run.Steps[10]
+	if got := run.UtilizationAt(s.Start + s.Duration/2); got != s.Utilization {
+		t.Errorf("mid-step utilization = %v, want %v", got, s.Utilization)
+	}
+}
+
+func TestSegmentUtilizationTailShape(t *testing.T) {
+	// GPU-like config: heavy tail means first 20% >> last 20%.
+	c := baseConfig()
+	c.TailKnee = 0.05
+	c.PanelFraction = 0.02
+	run, err := Simulate(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := run.SegmentUtilization(0, 0.2)
+	last := run.SegmentUtilization(0.8, 1)
+	if first <= last {
+		t.Fatalf("first20 %v <= last20 %v", first, last)
+	}
+	if (first-last)/run.MeanUtilization() < 0.15 {
+		t.Errorf("GPU-like tail too shallow: first %v last %v", first, last)
+	}
+	// CPU-like config: nearly flat.
+	c.TailKnee = 0.0005
+	c.PanelFraction = 0.25
+	run, err = Simulate(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first = run.SegmentUtilization(0, 0.2)
+	last = run.SegmentUtilization(0.8, 1)
+	if (first-last)/run.MeanUtilization() > 0.05 {
+		t.Errorf("CPU-like profile too steep: first %v last %v", first, last)
+	}
+}
+
+func TestSegmentUtilizationConsistentWithMean(t *testing.T) {
+	run, err := Simulate(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Weighted recombination of thirds equals the overall mean.
+	a := run.SegmentUtilization(0, 1.0/3)
+	b := run.SegmentUtilization(1.0/3, 2.0/3)
+	c := run.SegmentUtilization(2.0/3, 1)
+	if got, want := (a+b+c)/3, run.MeanUtilization(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("segment recombination %v != mean %v", got, want)
+	}
+}
+
+func TestMatrixOrderForRuntime(t *testing.T) {
+	template := baseConfig()
+	for _, target := range []float64{600, 5400, 25200} {
+		n, err := MatrixOrderForRuntime(template, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := template
+		c.MatrixOrder = n
+		run, err := Simulate(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel := math.Abs(run.CoreDuration-target) / target; rel > 0.02 {
+			t.Errorf("target %v: got runtime %v (N=%d), off by %.2f%%",
+				target, run.CoreDuration, n, rel*100)
+		}
+	}
+}
+
+func TestMatrixOrderForRuntimeBadTarget(t *testing.T) {
+	if _, err := MatrixOrderForRuntime(baseConfig(), 0); err == nil {
+		t.Error("zero target accepted")
+	}
+}
+
+// Property: longer target runtimes need larger matrices.
+func TestQuickRuntimeMonotoneInN(t *testing.T) {
+	template := baseConfig()
+	f := func(aRaw, bRaw uint16) bool {
+		na := 2000 + int(aRaw)%30000
+		nb := 2000 + int(bRaw)%30000
+		if na > nb {
+			na, nb = nb, na
+		}
+		if na == nb {
+			return true
+		}
+		ca, cb := template, template
+		ca.MatrixOrder, cb.MatrixOrder = na, nb
+		ra, err1 := Simulate(ca)
+		rb, err2 := Simulate(cb)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return ra.CoreDuration < rb.CoreDuration
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSimulate(b *testing.B) {
+	c := baseConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package meter
+
+import (
+	"errors"
+	"fmt"
+
+	"nodevar/internal/power"
+	"nodevar/internal/rng"
+)
+
+// Section 2.2 of the paper: "A measurement of the entire facility power
+// usually includes other components such as storage, other compute
+// clusters, and infrastructure. As such, it cannot be used to get an
+// accurate power measurement of an isolated supercomputer." This file
+// models the metering hierarchy — node, PDU, machine, facility — so that
+// the bias of measuring at too high a point can be quantified.
+
+// MeteringPoint identifies where in the power distribution tree a
+// reading is taken.
+type MeteringPoint int
+
+const (
+	// PointNode meters individual node wall power.
+	PointNode MeteringPoint = iota
+	// PointPDU meters rack PDUs (compute nodes plus rack-local fans and
+	// switches).
+	PointPDU
+	// PointMachine meters the machine's distribution panel (adds
+	// interconnect and service nodes).
+	PointMachine
+	// PointFacility meters the building feed (adds storage, other
+	// clusters, and cooling infrastructure).
+	PointFacility
+)
+
+// String names the point.
+func (p MeteringPoint) String() string {
+	switch p {
+	case PointNode:
+		return "node"
+	case PointPDU:
+		return "rack PDU"
+	case PointMachine:
+		return "machine panel"
+	case PointFacility:
+		return "facility feed"
+	default:
+		return fmt.Sprintf("MeteringPoint(%d)", int(p))
+	}
+}
+
+// FacilityModel describes everything sharing the feed with the compute
+// nodes under test, as constant overheads (all in watts unless noted).
+type FacilityModel struct {
+	// RackOverheadPerNode is rack-local non-node power (switches, fans)
+	// attributed per node.
+	RackOverheadPerNode float64
+	// InterconnectWatts is the machine-level network fabric.
+	InterconnectWatts float64
+	// ServiceNodesWatts is login/management/IO service nodes.
+	ServiceNodesWatts float64
+	// OtherLoadsWatts is storage, other clusters and miscellaneous
+	// building loads on the same feed.
+	OtherLoadsWatts float64
+	// CoolingCOP is the coefficient of performance of the facility
+	// cooling: cooling power = (everything upstream)/COP is added at the
+	// facility point. Zero disables cooling modeling.
+	CoolingCOP float64
+}
+
+// Validate checks the model.
+func (f FacilityModel) Validate() error {
+	switch {
+	case f.RackOverheadPerNode < 0 || f.InterconnectWatts < 0 ||
+		f.ServiceNodesWatts < 0 || f.OtherLoadsWatts < 0:
+		return errors.New("meter: facility overheads must be non-negative")
+	case f.CoolingCOP < 0:
+		return errors.New("meter: CoolingCOP must be non-negative")
+	case f.CoolingCOP > 0 && f.CoolingCOP < 1:
+		return errors.New("meter: CoolingCOP below 1 is not physical for HPC facilities")
+	}
+	return nil
+}
+
+// Hierarchy wraps a compute-node system trace with the facility model
+// and answers what a meter at each point would read.
+type Hierarchy struct {
+	model FacilityModel
+	nodes int
+	// computeTrace is the true total compute-node wall power.
+	computeTrace *power.Trace
+}
+
+// NewHierarchy builds the metering tree for a machine of the given node
+// count whose aggregate node power is computeTrace.
+func NewHierarchy(computeTrace *power.Trace, nodes int, model FacilityModel) (*Hierarchy, error) {
+	if computeTrace == nil || computeTrace.Len() < 2 {
+		return nil, errors.New("meter: hierarchy needs a compute trace")
+	}
+	if nodes <= 0 {
+		return nil, errors.New("meter: hierarchy needs nodes > 0")
+	}
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	return &Hierarchy{model: model, nodes: nodes, computeTrace: computeTrace}, nil
+}
+
+// TraceAt returns the power trace a perfect meter at the given point
+// would record.
+func (h *Hierarchy) TraceAt(point MeteringPoint) (*power.Trace, error) {
+	switch point {
+	case PointNode:
+		return h.computeTrace, nil
+	case PointPDU:
+		add := h.model.RackOverheadPerNode * float64(h.nodes)
+		return h.computeTrace.Map(func(_ float64, p power.Watts) power.Watts {
+			return p + power.Watts(add)
+		})
+	case PointMachine:
+		add := h.model.RackOverheadPerNode*float64(h.nodes) +
+			h.model.InterconnectWatts + h.model.ServiceNodesWatts
+		return h.computeTrace.Map(func(_ float64, p power.Watts) power.Watts {
+			return p + power.Watts(add)
+		})
+	case PointFacility:
+		add := h.model.RackOverheadPerNode*float64(h.nodes) +
+			h.model.InterconnectWatts + h.model.ServiceNodesWatts +
+			h.model.OtherLoadsWatts
+		cop := h.model.CoolingCOP
+		return h.computeTrace.Map(func(_ float64, p power.Watts) power.Watts {
+			upstream := float64(p) + add
+			if cop > 0 {
+				upstream *= 1 + 1/cop
+			}
+			return power.Watts(upstream)
+		})
+	default:
+		return nil, fmt.Errorf("meter: unknown metering point %v", point)
+	}
+}
+
+// BiasAt returns the relative overstatement of average compute power
+// when reading at the given point: reading/compute - 1.
+func (h *Hierarchy) BiasAt(point MeteringPoint) (float64, error) {
+	tr, err := h.TraceAt(point)
+	if err != nil {
+		return 0, err
+	}
+	reading, err := tr.Average()
+	if err != nil {
+		return 0, err
+	}
+	compute, err := h.computeTrace.Average()
+	if err != nil {
+		return 0, err
+	}
+	return float64(reading)/float64(compute) - 1, nil
+}
+
+// MeasureAt samples the given point with an instrument drawn from spec
+// over the full trace span and returns the measured average.
+func (h *Hierarchy) MeasureAt(point MeteringPoint, spec Spec, r *rng.Rand) (power.Watts, error) {
+	tr, err := h.TraceAt(point)
+	if err != nil {
+		return 0, err
+	}
+	inst, err := New(spec, r)
+	if err != nil {
+		return 0, err
+	}
+	return inst.AveragePower(tr, tr.Start(), tr.End())
+}

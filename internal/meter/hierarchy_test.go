@@ -1,0 +1,120 @@
+package meter
+
+import (
+	"math"
+	"testing"
+
+	"nodevar/internal/power"
+	"nodevar/internal/rng"
+)
+
+func testHierarchy(t *testing.T) *Hierarchy {
+	t.Helper()
+	tr := flatTrace(t, 100000, 600) // 100 kW of compute nodes
+	h, err := NewHierarchy(tr, 200, FacilityModel{
+		RackOverheadPerNode: 25,   // 5 kW of rack overhead
+		InterconnectWatts:   8000, // 8 kW fabric
+		ServiceNodesWatts:   2000,
+		OtherLoadsWatts:     60000, // storage + other clusters
+		CoolingCOP:          4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestHierarchyValidation(t *testing.T) {
+	tr := flatTrace(t, 1000, 10)
+	if _, err := NewHierarchy(nil, 10, FacilityModel{}); err == nil {
+		t.Error("nil trace accepted")
+	}
+	if _, err := NewHierarchy(tr, 0, FacilityModel{}); err == nil {
+		t.Error("zero nodes accepted")
+	}
+	if _, err := NewHierarchy(tr, 10, FacilityModel{RackOverheadPerNode: -1}); err == nil {
+		t.Error("negative overhead accepted")
+	}
+	if _, err := NewHierarchy(tr, 10, FacilityModel{CoolingCOP: 0.5}); err == nil {
+		t.Error("sub-unity COP accepted")
+	}
+}
+
+func TestHierarchyBiasGrowsUpTheTree(t *testing.T) {
+	h := testHierarchy(t)
+	points := []MeteringPoint{PointNode, PointPDU, PointMachine, PointFacility}
+	var prev float64 = -1
+	for _, p := range points {
+		bias, err := h.BiasAt(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bias < prev {
+			t.Errorf("bias not monotone at %v: %v after %v", p, bias, prev)
+		}
+		prev = bias
+	}
+	// Node-level is exact.
+	if b, _ := h.BiasAt(PointNode); b != 0 {
+		t.Errorf("node bias = %v", b)
+	}
+	// PDU: 5/100 = 5%.
+	if b, _ := h.BiasAt(PointPDU); math.Abs(b-0.05) > 1e-9 {
+		t.Errorf("PDU bias = %v", b)
+	}
+	// Machine: (5+8+2)/100 = 15%.
+	if b, _ := h.BiasAt(PointMachine); math.Abs(b-0.15) > 1e-9 {
+		t.Errorf("machine bias = %v", b)
+	}
+	// Facility: (100+15+60)*1.25/100 - 1 = 118.75%.
+	if b, _ := h.BiasAt(PointFacility); math.Abs(b-1.1875) > 1e-9 {
+		t.Errorf("facility bias = %v", b)
+	}
+}
+
+func TestHierarchyTraceAtPreservesShape(t *testing.T) {
+	// Additive overheads shift but do not reshape the trace.
+	var samples []power.Sample
+	for i := 0; i <= 100; i++ {
+		samples = append(samples, power.Sample{Time: float64(i), Power: power.Watts(1000 + 10*i)})
+	}
+	tr, err := power.NewTrace(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewHierarchy(tr, 4, FacilityModel{InterconnectWatts: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	machine, err := h.TraceAt(PointMachine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{0, 50, 100} {
+		if got, want := machine.At(x), tr.At(x)+500; math.Abs(float64(got-want)) > 1e-9 {
+			t.Errorf("t=%v: %v vs %v", x, got, want)
+		}
+	}
+	if _, err := h.TraceAt(MeteringPoint(9)); err == nil {
+		t.Error("unknown point accepted")
+	}
+}
+
+func TestHierarchyMeasureAt(t *testing.T) {
+	h := testHierarchy(t)
+	got, err := h.MeasureAt(PointPDU, Reference, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(got)-105000) > 1e-6 {
+		t.Errorf("PDU reading = %v, want 105 kW", got)
+	}
+}
+
+func TestMeteringPointNames(t *testing.T) {
+	for _, p := range []MeteringPoint{PointNode, PointPDU, PointMachine, PointFacility} {
+		if p.String() == "" {
+			t.Errorf("point %d unnamed", p)
+		}
+	}
+}

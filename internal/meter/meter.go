@@ -1,0 +1,180 @@
+// Package meter models power-measurement instruments: calibration (gain)
+// error, per-sample noise, quantization, periodic sampling, and
+// continuously integrating energy meters. It separates what the machine
+// actually draws (a power.Trace from the cluster simulator) from what an
+// instrument reports — the gap the EE HPC WG methodology's accuracy
+// levels are about.
+package meter
+
+import (
+	"errors"
+	"fmt"
+
+	"nodevar/internal/power"
+	"nodevar/internal/rng"
+)
+
+// Spec describes an instrument model.
+type Spec struct {
+	// GainErrorCV is the coefficient of variation of the per-instrument
+	// calibration error: each meter instance gets a fixed multiplicative
+	// gain drawn from N(1, GainErrorCV). Typical revenue-grade meters are
+	// 0.002-0.01; the paper cites 1-1.5% equipment variance.
+	GainErrorCV float64
+	// NoiseCV is the per-sample multiplicative noise standard deviation.
+	NoiseCV float64
+	// ResolutionWatts quantizes each reading to this step (0 disables).
+	ResolutionWatts float64
+	// SamplePeriod is the sampling interval in seconds (default 1, the
+	// methodology's Level 1/2 granularity).
+	SamplePeriod float64
+}
+
+// Validate checks the spec.
+func (s Spec) Validate() error {
+	switch {
+	case s.GainErrorCV < 0 || s.GainErrorCV > 0.1:
+		return fmt.Errorf("meter: GainErrorCV %v outside [0, 0.1]", s.GainErrorCV)
+	case s.NoiseCV < 0 || s.NoiseCV > 0.1:
+		return fmt.Errorf("meter: NoiseCV %v outside [0, 0.1]", s.NoiseCV)
+	case s.ResolutionWatts < 0:
+		return errors.New("meter: ResolutionWatts must be non-negative")
+	case s.SamplePeriod < 0:
+		return errors.New("meter: SamplePeriod must be non-negative")
+	}
+	return nil
+}
+
+// Reference is a perfect instrument: no gain error, noise or quantization,
+// 1 Hz sampling.
+var Reference = Spec{SamplePeriod: 1}
+
+// Meter is one instrument instance with its calibration fixed at
+// construction.
+type Meter struct {
+	spec Spec
+	gain float64
+	r    *rng.Rand
+}
+
+// New draws an instrument instance from the spec using r (which is also
+// used for subsequent per-sample noise).
+func New(spec Spec, r *rng.Rand) (*Meter, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if spec.SamplePeriod == 0 {
+		spec.SamplePeriod = 1
+	}
+	gain := 1.0
+	if spec.GainErrorCV > 0 {
+		gain = r.Normal(1, spec.GainErrorCV)
+	}
+	return &Meter{spec: spec, gain: gain, r: r}, nil
+}
+
+// Gain returns the instrument's fixed calibration multiplier.
+func (m *Meter) Gain() float64 { return m.gain }
+
+// reading passes one true power value through the instrument pipeline.
+func (m *Meter) reading(true_ power.Watts) power.Watts {
+	v := float64(true_) * m.gain
+	if m.spec.NoiseCV > 0 {
+		v *= m.r.Normal(1, m.spec.NoiseCV)
+	}
+	if q := m.spec.ResolutionWatts; q > 0 {
+		v = float64(int64(v/q+0.5)) * q
+	}
+	if v < 0 {
+		v = 0
+	}
+	return power.Watts(v)
+}
+
+// Measure samples the true trace over [a, b] at the instrument's period
+// and returns the reported trace. The window must lie within the trace.
+func (m *Meter) Measure(tr *power.Trace, a, b float64) (*power.Trace, error) {
+	if a >= b {
+		return nil, fmt.Errorf("meter: empty measurement window [%v, %v]", a, b)
+	}
+	if a < tr.Start()-1e-9 || b > tr.End()+1e-9 {
+		return nil, fmt.Errorf("meter: window [%v, %v] outside trace span [%v, %v]",
+			a, b, tr.Start(), tr.End())
+	}
+	var out []power.Sample
+	for x := a; x < b; x += m.spec.SamplePeriod {
+		out = append(out, power.Sample{Time: x, Power: m.reading(tr.At(x))})
+	}
+	out = append(out, power.Sample{Time: b, Power: m.reading(tr.At(b))})
+	return power.NewTrace(out)
+}
+
+// AveragePower reports the instrument's time-averaged power over [a, b]
+// as computed from its discrete samples — exactly what a Level 1/2
+// submission derives.
+func (m *Meter) AveragePower(tr *power.Trace, a, b float64) (power.Watts, error) {
+	measured, err := m.Measure(tr, a, b)
+	if err != nil {
+		return 0, err
+	}
+	return measured.Average()
+}
+
+// Energy reports continuously integrated energy over [a, b] through the
+// instrument's gain (the Level 3 style of measurement: integration
+// happens in the meter, so per-sample noise and quantization do not
+// apply).
+func (m *Meter) Energy(tr *power.Trace, a, b float64) (power.Joules, error) {
+	e, err := tr.EnergyBetween(a, b)
+	if err != nil {
+		return 0, err
+	}
+	return power.Joules(float64(e) * m.gain), nil
+}
+
+// Pool is a set of instruments measuring disjoint parts of a system whose
+// readings are summed, as when several PDUs feed one measurement (the
+// distributed metering that SPEC-style single-meter rules cannot cover).
+type Pool struct {
+	meters []*Meter
+}
+
+// NewPool draws n instruments from the spec.
+func NewPool(n int, spec Spec, r *rng.Rand) (*Pool, error) {
+	if n <= 0 {
+		return nil, errors.New("meter: pool needs at least one instrument")
+	}
+	p := &Pool{meters: make([]*Meter, n)}
+	for i := range p.meters {
+		m, err := New(spec, r)
+		if err != nil {
+			return nil, err
+		}
+		p.meters[i] = m
+	}
+	return p, nil
+}
+
+// Size returns the number of instruments.
+func (p *Pool) Size() int { return len(p.meters) }
+
+// Meter returns the i-th instrument.
+func (p *Pool) Meter(i int) *Meter { return p.meters[i] }
+
+// AverageSum measures each trace with the corresponding instrument over
+// [a, b] and returns the summed average power. len(traces) must equal the
+// pool size.
+func (p *Pool) AverageSum(traces []*power.Trace, a, b float64) (power.Watts, error) {
+	if len(traces) != len(p.meters) {
+		return 0, fmt.Errorf("meter: %d traces for %d instruments", len(traces), len(p.meters))
+	}
+	var sum power.Watts
+	for i, tr := range traces {
+		v, err := p.meters[i].AveragePower(tr, a, b)
+		if err != nil {
+			return 0, err
+		}
+		sum += v
+	}
+	return sum, nil
+}

@@ -1,0 +1,254 @@
+package meter
+
+import (
+	"math"
+	"testing"
+
+	"nodevar/internal/power"
+	"nodevar/internal/rng"
+)
+
+func flatTrace(t *testing.T, watts float64, dur float64) *power.Trace {
+	t.Helper()
+	var samples []power.Sample
+	for x := 0.0; x <= dur; x += 1 {
+		samples = append(samples, power.Sample{Time: x, Power: power.Watts(watts)})
+	}
+	tr, err := power.NewTrace(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestSpecValidate(t *testing.T) {
+	bad := []Spec{
+		{GainErrorCV: -0.1},
+		{GainErrorCV: 0.5},
+		{NoiseCV: -1},
+		{NoiseCV: 0.5},
+		{ResolutionWatts: -1},
+		{SamplePeriod: -1},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad spec %d accepted", i)
+		}
+	}
+	if err := Reference.Validate(); err != nil {
+		t.Errorf("Reference spec invalid: %v", err)
+	}
+}
+
+func TestReferenceMeterIsExact(t *testing.T) {
+	tr := flatTrace(t, 500, 100)
+	m, err := New(Reference, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Gain() != 1 {
+		t.Errorf("reference gain = %v", m.Gain())
+	}
+	avg, err := m.AveragePower(tr, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(avg) != 500 {
+		t.Errorf("reference average = %v", avg)
+	}
+	e, err := m.Energy(tr, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(e) != 50000 {
+		t.Errorf("reference energy = %v", e)
+	}
+}
+
+func TestGainErrorIsFixedPerInstrument(t *testing.T) {
+	spec := Spec{GainErrorCV: 0.01, SamplePeriod: 1}
+	m, err := New(spec, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := flatTrace(t, 1000, 50)
+	a1, _ := m.AveragePower(tr, 0, 50)
+	a2, _ := m.AveragePower(tr, 0, 50)
+	if a1 != a2 {
+		t.Errorf("gain drifted between measurements: %v vs %v", a1, a2)
+	}
+	if math.Abs(float64(a1)-1000*m.Gain()) > 1e-9 {
+		t.Errorf("average %v inconsistent with gain %v", a1, m.Gain())
+	}
+}
+
+func TestGainDistributionAcrossInstruments(t *testing.T) {
+	r := rng.New(3)
+	spec := Spec{GainErrorCV: 0.01, SamplePeriod: 1}
+	var gains []float64
+	for i := 0; i < 2000; i++ {
+		m, err := New(spec, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gains = append(gains, m.Gain())
+	}
+	var mean, ss float64
+	for _, g := range gains {
+		mean += g
+	}
+	mean /= float64(len(gains))
+	for _, g := range gains {
+		ss += (g - mean) * (g - mean)
+	}
+	sd := math.Sqrt(ss / float64(len(gains)-1))
+	if math.Abs(mean-1) > 0.002 {
+		t.Errorf("gain mean = %v", mean)
+	}
+	if math.Abs(sd-0.01) > 0.002 {
+		t.Errorf("gain sd = %v, want ~0.01", sd)
+	}
+}
+
+func TestNoiseAveragesOut(t *testing.T) {
+	spec := Spec{NoiseCV: 0.02, SamplePeriod: 1}
+	m, err := New(spec, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := flatTrace(t, 800, 5000)
+	avg, err := m.AveragePower(tr, 0, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5000 noisy samples: standard error ~ 800*0.02/√5000 ≈ 0.23 W.
+	if math.Abs(float64(avg)-800) > 1.5 {
+		t.Errorf("noisy average = %v, want ~800", avg)
+	}
+}
+
+func TestQuantization(t *testing.T) {
+	spec := Spec{ResolutionWatts: 10, SamplePeriod: 1}
+	m, err := New(spec, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := flatTrace(t, 503, 10)
+	measured, err := m.Measure(tr, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range measured.Samples() {
+		if float64(s.Power) != 500 {
+			t.Errorf("quantized reading = %v, want 500", s.Power)
+		}
+	}
+}
+
+func TestMeasureWindowChecks(t *testing.T) {
+	m, err := New(Reference, rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := flatTrace(t, 100, 10)
+	if _, err := m.Measure(tr, 5, 5); err == nil {
+		t.Error("empty window accepted")
+	}
+	if _, err := m.Measure(tr, -1, 5); err == nil {
+		t.Error("window before trace accepted")
+	}
+	if _, err := m.Measure(tr, 5, 11); err == nil {
+		t.Error("window after trace accepted")
+	}
+}
+
+func TestMeasureSampleCount(t *testing.T) {
+	m, err := New(Spec{SamplePeriod: 2}, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := flatTrace(t, 100, 10)
+	measured, err := m.Measure(tr, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Samples at 0,2,4,6,8 plus the final boundary at 10.
+	if measured.Len() != 6 {
+		t.Errorf("sample count = %d, want 6", measured.Len())
+	}
+}
+
+func TestEnergyAppliesGainOnly(t *testing.T) {
+	r := rng.New(8)
+	spec := Spec{GainErrorCV: 0.02, NoiseCV: 0.05, SamplePeriod: 1}
+	m, err := New(spec, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := flatTrace(t, 1000, 100)
+	e, err := m.Energy(tr, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 100000 * m.Gain()
+	if math.Abs(float64(e)-want) > 1e-9 {
+		t.Errorf("integrated energy = %v, want %v (noise must not apply)", e, want)
+	}
+}
+
+func TestPool(t *testing.T) {
+	r := rng.New(9)
+	p, err := NewPool(4, Spec{GainErrorCV: 0.005, SamplePeriod: 1}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Size() != 4 {
+		t.Fatalf("pool size = %d", p.Size())
+	}
+	traces := make([]*power.Trace, 4)
+	for i := range traces {
+		traces[i] = flatTrace(t, 250, 20)
+	}
+	sum, err := p.AverageSum(traces, 0, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(sum)-1000) > 1000*0.005*4 {
+		t.Errorf("pool sum = %v, want ~1000", sum)
+	}
+	if _, err := p.AverageSum(traces[:2], 0, 20); err == nil {
+		t.Error("mismatched trace count accepted")
+	}
+	// Instruments differ from each other.
+	if p.Meter(0).Gain() == p.Meter(1).Gain() {
+		t.Error("pool instruments share identical calibration")
+	}
+}
+
+func TestNewPoolErrors(t *testing.T) {
+	if _, err := NewPool(0, Reference, rng.New(1)); err == nil {
+		t.Error("empty pool accepted")
+	}
+	if _, err := NewPool(2, Spec{GainErrorCV: -1}, rng.New(1)); err == nil {
+		t.Error("invalid spec accepted")
+	}
+}
+
+func TestNegativeReadingsClampToZero(t *testing.T) {
+	// Huge noise on a tiny signal must not produce negative power.
+	spec := Spec{NoiseCV: 0.1, SamplePeriod: 1}
+	m, err := New(spec, rng.New(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := flatTrace(t, 0.001, 1000)
+	measured, err := m.Measure(tr, 0, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range measured.Samples() {
+		if s.Power < 0 {
+			t.Fatalf("negative reading %v", s.Power)
+		}
+	}
+}

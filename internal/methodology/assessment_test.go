@@ -1,0 +1,129 @@
+package methodology
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"nodevar/internal/power"
+)
+
+func TestAssessSubsetMeasurement(t *testing.T) {
+	target := syntheticTarget(t, 640, 1800, 400, 0.05, nil)
+	m, err := Measure(target, MustLevelSpec(Level1), Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Assess(m, target, 0.02, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.SubsetAccuracy <= 0 || a.SubsetAccuracy > 0.1 {
+		t.Errorf("subset accuracy = %v", a.SubsetAccuracy)
+	}
+	if a.TimeBiasBounded {
+		t.Error("Level 1 window should not be marked bias-free")
+	}
+	if a.WindowFraction <= 0 || a.WindowFraction >= 0.5 {
+		t.Errorf("window fraction = %v", a.WindowFraction)
+	}
+	if !strings.Contains(a.String(), "window bias unbounded") {
+		t.Errorf("statement = %q", a.String())
+	}
+}
+
+func TestAssessFullSystemFullRun(t *testing.T) {
+	target := syntheticTarget(t, 16, 600, 400, 0.05, nil)
+	m, err := Measure(target, MustLevelSpec(Level3), Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Assess(m, target, 0.02, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.SubsetAccuracy != 0 {
+		t.Errorf("whole-system accuracy = %v", a.SubsetAccuracy)
+	}
+	if !a.TimeBiasBounded {
+		t.Error("full-run measurement should be bias-bounded")
+	}
+	if !strings.Contains(a.String(), "no window bias") {
+		t.Errorf("statement = %q", a.String())
+	}
+}
+
+func TestAssessGamedWindowFlagged(t *testing.T) {
+	const dur = 5400
+	target := syntheticTarget(t, 64, dur, 300, 0.02, decliningShape(dur))
+	m, err := Measure(target, MustLevelSpec(Level1), Options{Placement: PlaceBest, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Assess(m, target, 0.02, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, n := range a.Notes {
+		if strings.Contains(n, "optimized") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("gamed window not flagged: %+v", a)
+	}
+}
+
+func TestAssessErrors(t *testing.T) {
+	target := syntheticTarget(t, 16, 600, 400, 0.05, nil)
+	m, err := Measure(target, MustLevelSpec(Level3), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Assess(nil, target, 0.02, 0.95); err == nil {
+		t.Error("nil measurement accepted")
+	}
+	if _, err := Assess(m, target, 0, 0.95); err == nil {
+		t.Error("zero CV accepted")
+	}
+	if _, err := Assess(m, target, 0.02, 1.5); err == nil {
+		t.Error("bad confidence accepted")
+	}
+}
+
+func TestTenSegmentAverageEqualsFullAverage(t *testing.T) {
+	// On any trace, the mean of ten equal segment averages equals the
+	// full time-weighted average — which is why Level 2's rule covers
+	// the whole run.
+	const dur = 5400
+	target := syntheticTarget(t, 4, dur, 300, 0.1, decliningShape(dur))
+	full, err := target.System.Average()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ten, segs, err := TenSegmentAverage(target.System)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 10 {
+		t.Fatalf("segments = %d", len(segs))
+	}
+	if math.Abs(float64(ten-full))/float64(full) > 1e-9 {
+		t.Errorf("ten-segment %v vs full %v", ten, full)
+	}
+	// On a declining trace the segments themselves decline.
+	if segs[0] <= segs[9] {
+		t.Errorf("segments not declining: %v ... %v", segs[0], segs[9])
+	}
+}
+
+func TestTenSegmentAverageErrors(t *testing.T) {
+	if _, _, err := TenSegmentAverage(nil); err == nil {
+		t.Error("nil trace accepted")
+	}
+	short, _ := power.NewTrace([]power.Sample{{Time: 0, Power: 1}})
+	if _, _, err := TenSegmentAverage(short); err == nil {
+		t.Error("single-sample trace accepted")
+	}
+}

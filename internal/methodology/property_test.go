@@ -1,0 +1,96 @@
+package methodology
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// Property: Level 3 with a reference instrument reproduces the true
+// average exactly, for any synthetic target.
+func TestQuickLevel3Exact(t *testing.T) {
+	f := func(nRaw, baseRaw, spreadRaw uint8) bool {
+		n := 2 + int(nRaw%30)
+		base := 100 + float64(baseRaw)
+		spread := float64(spreadRaw%50) / 100
+		target := syntheticTarget(t, n, 300, base, spread, nil)
+		m, err := Measure(target, MustLevelSpec(Level3), Options{Seed: uint64(nRaw)})
+		if err != nil {
+			return false
+		}
+		rel, err := m.RelativeError(target)
+		if err != nil {
+			return false
+		}
+		return math.Abs(rel) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the reported system power is exactly the subset average
+// scaled by N/n (the methodology's linear extrapolation).
+func TestQuickLinearExtrapolation(t *testing.T) {
+	target := syntheticTarget(t, 128, 600, 300, 0.1, nil)
+	f := func(seed uint16) bool {
+		m, err := Measure(target, MustLevelSpec(Level1), Options{Seed: uint64(seed)})
+		if err != nil {
+			return false
+		}
+		want := float64(m.SubsetAvg) * 128 / float64(m.NodesUsed)
+		return math.Abs(float64(m.SystemPower)-want) < 1e-9*want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: for any placement, a Level 1 window lies within the middle
+// 80% of the core phase and has the spec's length.
+func TestQuickWindowWithinMiddle80(t *testing.T) {
+	const dur = 5400
+	target := syntheticTarget(t, 16, dur, 300, 0.05, decliningShape(dur))
+	spec := MustLevelSpec(Level1)
+	wantLen := spec.WindowLength(dur)
+	placements := []WindowPlacement{PlaceRandom, PlaceEarliest, PlaceLatest, PlaceCenter, PlaceBest}
+	f := func(seed uint16, pRaw uint8) bool {
+		p := placements[int(pRaw)%len(placements)]
+		m, err := Measure(target, spec, Options{Seed: uint64(seed), Placement: p})
+		if err != nil {
+			return false
+		}
+		if math.Abs((m.WindowHi-m.WindowLo)-wantLen) > 1e-6 {
+			return false
+		}
+		return m.WindowLo >= 0.1*dur-1e-6 && m.WindowHi <= 0.9*dur+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: gaming can never make the best window exceed the worst
+// window; the gamed value is a lower bound over placements.
+func TestQuickBestPlacementIsMinimal(t *testing.T) {
+	const dur = 5400
+	target := syntheticTarget(t, 16, dur, 300, 0.05, decliningShape(dur))
+	spec := MustLevelSpec(Level1)
+	best, err := Measure(target, spec, Options{Placement: PlaceBest, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed uint16) bool {
+		m, err := Measure(target, spec, Options{Placement: PlaceRandom, Seed: uint64(seed)})
+		if err != nil {
+			return false
+		}
+		// Identical subsets are not guaranteed; compare subset-average
+		// normalized to per-node power to remove subset composition noise
+		// up to the node spread (5%), with slack.
+		return float64(m.SystemPower) > float64(best.SystemPower)*0.97
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

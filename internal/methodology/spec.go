@@ -1,0 +1,205 @@
+// Package methodology implements the EE HPC WG power measurement
+// methodology used by the Green500 and Top500 (Table 1 of the paper): the
+// three quality levels with their four aspects (granularity, timing,
+// machine fraction, subsystems/measurement point), a measurement executor
+// that applies a level to a simulated run, the paper's revised rules, and
+// the "optimal interval" gaming search of Section 3.
+package methodology
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"nodevar/internal/sampling"
+)
+
+// Level is an EE HPC WG measurement quality level.
+type Level int
+
+// The three methodology levels, in increasing quality.
+const (
+	Level1 Level = 1
+	Level2 Level = 2
+	Level3 Level = 3
+)
+
+// String names the level.
+func (l Level) String() string {
+	switch l {
+	case Level1:
+		return "Level 1"
+	case Level2:
+		return "Level 2"
+	case Level3:
+		return "Level 3"
+	default:
+		return fmt.Sprintf("Level(%d)", int(l))
+	}
+}
+
+// TimingRule says which part of the core phase must be covered.
+type TimingRule int
+
+const (
+	// WindowInMiddle80 is the original Level 1 rule: a window of at
+	// least the longer of one minute or 20% of the middle 80%, placed
+	// anywhere within the middle 80% of the core phase.
+	WindowInMiddle80 TimingRule = iota
+	// FullRun requires covering the entire core phase (Levels 2-3 — the
+	// ten equally spaced averages of Level 2 are equivalent to one
+	// full-run average — and the paper's revised Level 1).
+	FullRun
+)
+
+// String names the timing rule.
+func (t TimingRule) String() string {
+	if t == FullRun {
+		return "full core phase"
+	}
+	return "≥max(1 min, 20% of middle 80%), inside middle 80%"
+}
+
+// Spec is one row of Table 1 in executable form.
+type Spec struct {
+	Level Level
+	// SamplePeriod is the required sampling granularity in seconds;
+	// 0 means continuously integrated energy (Level 3).
+	SamplePeriod float64
+	// Timing is the required measurement window rule.
+	Timing TimingRule
+	// MinNodeFraction is the minimum fraction of compute nodes measured.
+	MinNodeFraction float64
+	// MinNodes is an absolute node floor (the paper's revised rule uses
+	// max(16, 10%)).
+	MinNodes int
+	// MinMeasuredWatts is the minimum average power the measured subset
+	// must draw (2 kW for Level 1, 10 kW for Level 2).
+	MinMeasuredWatts float64
+	// WholeSystem requires measuring every node (Level 3).
+	WholeSystem bool
+	// Subsystems documents aspect 3 and PointOfMeasurement aspect 4;
+	// informative strings carried into reports.
+	Subsystems         string
+	PointOfMeasurement string
+}
+
+// LevelSpec returns the original EE HPC WG spec for a level, as
+// summarized in Table 1.
+func LevelSpec(l Level) (Spec, error) {
+	switch l {
+	case Level1:
+		return Spec{
+			Level:              Level1,
+			SamplePeriod:       1,
+			Timing:             WindowInMiddle80,
+			MinNodeFraction:    1.0 / 64,
+			MinMeasuredWatts:   2000,
+			Subsystems:         "compute nodes only",
+			PointOfMeasurement: "upstream of power conversion, or modeled with manufacturer data",
+		}, nil
+	case Level2:
+		return Spec{
+			Level:              Level2,
+			SamplePeriod:       1,
+			Timing:             FullRun,
+			MinNodeFraction:    1.0 / 8,
+			MinMeasuredWatts:   10000,
+			Subsystems:         "all participating subsystems, measured or estimated",
+			PointOfMeasurement: "upstream of power conversion, or modeled with off-line measurements",
+		}, nil
+	case Level3:
+		return Spec{
+			Level:              Level3,
+			SamplePeriod:       0, // continuously integrated energy
+			Timing:             FullRun,
+			MinNodeFraction:    1,
+			WholeSystem:        true,
+			Subsystems:         "all participating subsystems, measured",
+			PointOfMeasurement: "upstream of power conversion, or conversion loss measured simultaneously",
+		}, nil
+	default:
+		return Spec{}, fmt.Errorf("methodology: unknown level %d", int(l))
+	}
+}
+
+// MustLevelSpec is LevelSpec for the three known levels; it panics
+// otherwise.
+func MustLevelSpec(l Level) Spec {
+	s, err := LevelSpec(l)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// RevisedLevel1 returns the paper's proposed replacement for Level 1
+// (Section 6, adopted by the Green500/Top500 for late 2015): measure the
+// full core phase on at least max(16 nodes, 10% of the system), keeping
+// the 1 Hz granularity and 2 kW floor.
+func RevisedLevel1() Spec {
+	return Spec{
+		Level:              Level1,
+		SamplePeriod:       1,
+		Timing:             FullRun,
+		MinNodeFraction:    0.1,
+		MinNodes:           16,
+		MinMeasuredWatts:   2000,
+		Subsystems:         "compute nodes only",
+		PointOfMeasurement: "upstream of power conversion, or modeled with manufacturer data",
+	}
+}
+
+// RequiredNodes returns how many nodes the spec requires for a system of
+// totalNodes nodes whose average per-node power is approximately
+// nodeWatts (used for the minimum-power floor). It returns an error for
+// non-positive inputs.
+func (s Spec) RequiredNodes(totalNodes int, nodeWatts float64) (int, error) {
+	if totalNodes <= 0 {
+		return 0, errors.New("methodology: totalNodes must be positive")
+	}
+	if nodeWatts <= 0 {
+		return 0, errors.New("methodology: nodeWatts must be positive")
+	}
+	if s.WholeSystem {
+		return totalNodes, nil
+	}
+	n := int(math.Ceil(s.MinNodeFraction*float64(totalNodes) - 1e-9))
+	if n < 1 {
+		n = 1
+	}
+	if s.MinNodes > n {
+		n = s.MinNodes
+	}
+	if s.MinMeasuredWatts > 0 {
+		if floor := int(math.Ceil(s.MinMeasuredWatts / nodeWatts)); floor > n {
+			n = floor
+		}
+	}
+	if n > totalNodes {
+		n = totalNodes
+	}
+	return n, nil
+}
+
+// WindowLength returns the minimum measurement window length in seconds
+// for a core phase of the given duration.
+func (s Spec) WindowLength(coreDuration float64) float64 {
+	if s.Timing == FullRun {
+		return coreDuration
+	}
+	min20 := 0.2 * (0.8 * coreDuration)
+	if min20 < 60 {
+		min20 = 60
+	}
+	if min20 > 0.8*coreDuration {
+		min20 = 0.8 * coreDuration
+	}
+	return min20
+}
+
+// OldVsRevisedNodeDelta compares the 1/64 rule with the paper's revised
+// rule for a given system size, returning (old, revised).
+func OldVsRevisedNodeDelta(totalNodes int) (old, revised int) {
+	return sampling.Level1Nodes(totalNodes), sampling.RevisedRuleNodes(totalNodes)
+}

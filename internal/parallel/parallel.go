@@ -1,0 +1,172 @@
+// Package parallel provides small, deterministic parallel-execution
+// helpers used by the simulation and bootstrap engines.
+//
+// The design goal is reproducibility under parallelism: work is divided
+// into index ranges up front, each range can be handed its own RNG stream,
+// and results are written to caller-owned, pre-sized slices so that the
+// outcome never depends on goroutine scheduling.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+
+	"nodevar/internal/rng"
+)
+
+// Workers returns the degree of parallelism to use: the smaller of
+// GOMAXPROCS and n (never below 1). Passing n <= 0 means "no cap".
+func Workers(n int) int {
+	w := runtime.GOMAXPROCS(0)
+	if w < 1 {
+		w = 1
+	}
+	if n > 0 && w > n {
+		w = n
+	}
+	return w
+}
+
+// Range describes a half-open index interval [Lo, Hi) assigned to one worker.
+type Range struct {
+	Lo, Hi int
+}
+
+// SplitRange divides [0, n) into at most parts contiguous, near-equal
+// ranges. Empty ranges are omitted, so the result may be shorter than
+// parts. It panics if parts <= 0 or n < 0.
+func SplitRange(n, parts int) []Range {
+	if parts <= 0 {
+		panic("parallel: SplitRange with parts <= 0")
+	}
+	if n < 0 {
+		panic("parallel: SplitRange with n < 0")
+	}
+	if parts > n {
+		parts = n
+	}
+	out := make([]Range, 0, parts)
+	for i := 0; i < parts; i++ {
+		lo := i * n / parts
+		hi := (i + 1) * n / parts
+		if lo < hi {
+			out = append(out, Range{Lo: lo, Hi: hi})
+		}
+	}
+	return out
+}
+
+// For runs body(i) for every i in [0, n), distributing contiguous index
+// ranges across up to Workers(n) goroutines. It blocks until all calls
+// return. body must be safe for concurrent invocation on distinct indices.
+func For(n int, body func(i int)) {
+	ForChunked(n, func(r Range) {
+		for i := r.Lo; i < r.Hi; i++ {
+			body(i)
+		}
+	})
+}
+
+// ForChunked runs body once per contiguous chunk of [0, n), one chunk per
+// worker goroutine. Use it when per-item dispatch overhead matters or the
+// body wants to keep per-chunk state.
+func ForChunked(n int, body func(r Range)) {
+	if n <= 0 {
+		return
+	}
+	ranges := SplitRange(n, Workers(n))
+	if len(ranges) == 1 {
+		body(ranges[0])
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(ranges))
+	for _, r := range ranges {
+		go func(r Range) {
+			defer wg.Done()
+			body(r)
+		}(r)
+	}
+	wg.Wait()
+}
+
+// ForSeeded runs body(i, r) for every i in [0, n), where each worker chunk
+// receives its own RNG split deterministically from parent. The assignment
+// of streams to chunks is fixed by (n, GOMAXPROCS at call time); for
+// GOMAXPROCS-independent determinism use ForSeededChunks with a fixed chunk
+// count.
+func ForSeeded(n int, parent *rng.Rand, body func(i int, r *rng.Rand)) {
+	if n <= 0 {
+		return
+	}
+	ranges := SplitRange(n, Workers(n))
+	streams := make([]*rng.Rand, len(ranges))
+	for i := range streams {
+		streams[i] = parent.Split()
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(ranges))
+	for ci, r := range ranges {
+		go func(ci int, r Range) {
+			defer wg.Done()
+			s := streams[ci]
+			for i := r.Lo; i < r.Hi; i++ {
+				body(i, s)
+			}
+		}(ci, r)
+	}
+	wg.Wait()
+}
+
+// ForSeededChunks divides [0, n) into exactly chunks ranges (fewer if
+// n < chunks), derives one RNG stream per range from parent, and runs the
+// ranges across the available workers. Because the chunk decomposition and
+// stream assignment depend only on (n, chunks, parent state), results are
+// bit-identical regardless of GOMAXPROCS.
+func ForSeededChunks(n, chunks int, parent *rng.Rand, body func(r Range, stream *rng.Rand)) {
+	if n <= 0 {
+		return
+	}
+	if chunks <= 0 {
+		chunks = 1
+	}
+	ranges := SplitRange(n, chunks)
+	streams := make([]*rng.Rand, len(ranges))
+	for i := range streams {
+		streams[i] = parent.Split()
+	}
+	sem := make(chan struct{}, Workers(len(ranges)))
+	var wg sync.WaitGroup
+	wg.Add(len(ranges))
+	for ci, r := range ranges {
+		sem <- struct{}{}
+		go func(ci int, r Range) {
+			defer func() { <-sem; wg.Done() }()
+			body(r, streams[ci])
+		}(ci, r)
+	}
+	wg.Wait()
+}
+
+// MapReduceFloat64 computes a parallel map over [0, n) followed by a
+// deterministic sequential reduction. Each index i is mapped to a float64;
+// partial slices are reduced in index order so floating-point summation
+// order is stable.
+func MapReduceFloat64(n int, mapper func(i int) float64, init float64, reducer func(acc, v float64) float64) float64 {
+	if n <= 0 {
+		return init
+	}
+	vals := make([]float64, n)
+	For(n, func(i int) { vals[i] = mapper(i) })
+	acc := init
+	for _, v := range vals {
+		acc = reducer(acc, v)
+	}
+	return acc
+}
+
+// Sum computes the sum of mapper(i) for i in [0, n) with parallel mapping
+// and a stable, index-ordered reduction.
+func Sum(n int, mapper func(i int) float64) float64 {
+	return MapReduceFloat64(n, mapper, 0, func(a, v float64) float64 { return a + v })
+}

@@ -1,0 +1,34 @@
+package power
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV checks that arbitrary input never panics the trace parser
+// and that anything it accepts is a well-formed trace.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("time_s,power_w\n0,100\n1,110\n")
+	f.Add("0,100\n1,110\n2,105\n")
+	f.Add("")
+	f.Add("a,b,c\n")
+	f.Add("1,2\n1,3\n")
+	f.Add("-5,1e300\n-4,0\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		tr, err := ReadCSV(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		// Accepted traces must honor the invariants.
+		if tr.Len() == 0 {
+			t.Fatal("accepted an empty trace")
+		}
+		prev := tr.Samples()[0].Time
+		for _, s := range tr.Samples()[1:] {
+			if s.Time <= prev {
+				t.Fatalf("accepted non-increasing timestamps: %v after %v", s.Time, prev)
+			}
+			prev = s.Time
+		}
+	})
+}

@@ -1,0 +1,62 @@
+package power
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteCSV serializes the trace as two-column CSV with a header row
+// ("time_s,power_w").
+func (t *Trace) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "time_s,power_w"); err != nil {
+		return err
+	}
+	for _, s := range t.samples {
+		if _, err := fmt.Fprintf(bw, "%g,%g\n", s.Time, float64(s.Power)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses a trace written by WriteCSV (or any two-column
+// time,power CSV with an optional header). Timestamps must be strictly
+// increasing.
+func ReadCSV(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var samples []Sample
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		parts := strings.Split(line, ",")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("power: line %d: expected 2 fields, got %d", lineNo, len(parts))
+		}
+		tv, err1 := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+		pv, err2 := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+		if err1 != nil || err2 != nil {
+			if lineNo == 1 {
+				// Header row.
+				continue
+			}
+			return nil, fmt.Errorf("power: line %d: unparsable values %q", lineNo, line)
+		}
+		samples = append(samples, Sample{Time: tv, Power: Watts(pv)})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("power: no samples in CSV input")
+	}
+	return NewTrace(samples)
+}

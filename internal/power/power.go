@@ -1,0 +1,74 @@
+// Package power defines the power and energy domain types shared by the
+// whole repository: watt/joule quantities, timestamped power samples, and
+// power-versus-time traces with the segment arithmetic (first 20%, middle
+// 80%, full core phase) that the EE HPC WG methodology and Sections 2-3 of
+// the paper are built on.
+package power
+
+import "fmt"
+
+// Watts is instantaneous electric power in watts.
+type Watts float64
+
+// Kilowatts converts to kilowatts.
+func (w Watts) Kilowatts() float64 { return float64(w) / 1000 }
+
+// Megawatts converts to megawatts.
+func (w Watts) Megawatts() float64 { return float64(w) / 1e6 }
+
+// String formats the power with an adaptive unit.
+func (w Watts) String() string {
+	switch {
+	case w >= 1e6 || w <= -1e6:
+		return fmt.Sprintf("%.2f MW", w.Megawatts())
+	case w >= 1e3 || w <= -1e3:
+		return fmt.Sprintf("%.2f kW", w.Kilowatts())
+	default:
+		return fmt.Sprintf("%.2f W", float64(w))
+	}
+}
+
+// Joules is energy in joules.
+type Joules float64
+
+// KilowattHours converts to kWh.
+func (j Joules) KilowattHours() float64 { return float64(j) / 3.6e6 }
+
+// MegawattHours converts to MWh.
+func (j Joules) MegawattHours() float64 { return float64(j) / 3.6e9 }
+
+// String formats the energy with an adaptive unit.
+func (j Joules) String() string {
+	switch {
+	case j >= 3.6e9 || j <= -3.6e9:
+		return fmt.Sprintf("%.2f MWh", j.MegawattHours())
+	case j >= 3.6e6 || j <= -3.6e6:
+		return fmt.Sprintf("%.2f kWh", j.KilowattHours())
+	default:
+		return fmt.Sprintf("%.2f J", float64(j))
+	}
+}
+
+// Sample is one timestamped power reading. Time is in seconds from the
+// start of the observed run; using float64 seconds rather than time.Time
+// keeps simulation arithmetic exact and timezone-free.
+type Sample struct {
+	Time  float64
+	Power Watts
+}
+
+// GFlops is computational rate in billions of floating-point operations
+// per second.
+type GFlops float64
+
+// Efficiency is the Green500 metric: GFLOPS per watt.
+type Efficiency float64
+
+// EfficiencyOf returns perf/power in GFLOPS/W. It panics if power is not
+// positive.
+func EfficiencyOf(perf GFlops, power Watts) Efficiency {
+	if power <= 0 {
+		panic("power: efficiency undefined for non-positive power")
+	}
+	return Efficiency(float64(perf) / float64(power))
+}

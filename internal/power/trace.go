@@ -1,0 +1,252 @@
+package power
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Trace is a power-versus-time series with strictly increasing timestamps.
+// Between samples the power is treated as piecewise linear, which is how
+// both the energy integral and the segment averages are defined.
+type Trace struct {
+	samples []Sample
+}
+
+// ErrShortTrace is returned by operations that need at least two samples.
+var ErrShortTrace = errors.New("power: trace needs at least 2 samples")
+
+// NewTrace builds a trace from samples, which must be in strictly
+// increasing time order.
+func NewTrace(samples []Sample) (*Trace, error) {
+	for i := 1; i < len(samples); i++ {
+		if samples[i].Time <= samples[i-1].Time {
+			return nil, fmt.Errorf("power: non-increasing timestamp at index %d (%v after %v)",
+				i, samples[i].Time, samples[i-1].Time)
+		}
+	}
+	return &Trace{samples: samples}, nil
+}
+
+// Append adds a sample to the end of the trace. It returns an error if the
+// timestamp does not increase.
+func (t *Trace) Append(s Sample) error {
+	if n := len(t.samples); n > 0 && s.Time <= t.samples[n-1].Time {
+		return fmt.Errorf("power: appended timestamp %v not after %v", s.Time, t.samples[n-1].Time)
+	}
+	t.samples = append(t.samples, s)
+	return nil
+}
+
+// Len returns the number of samples.
+func (t *Trace) Len() int { return len(t.samples) }
+
+// Samples returns the underlying samples (shared storage; do not modify).
+func (t *Trace) Samples() []Sample { return t.samples }
+
+// Start returns the first timestamp. It panics on an empty trace.
+func (t *Trace) Start() float64 {
+	if len(t.samples) == 0 {
+		panic("power: empty trace")
+	}
+	return t.samples[0].Time
+}
+
+// End returns the last timestamp. It panics on an empty trace.
+func (t *Trace) End() float64 {
+	if len(t.samples) == 0 {
+		panic("power: empty trace")
+	}
+	return t.samples[len(t.samples)-1].Time
+}
+
+// Duration returns End() - Start().
+func (t *Trace) Duration() float64 { return t.End() - t.Start() }
+
+// At returns the linearly interpolated power at time x. Outside the trace
+// span it clamps to the first or last sample.
+func (t *Trace) At(x float64) Watts {
+	n := len(t.samples)
+	if n == 0 {
+		panic("power: empty trace")
+	}
+	if x <= t.samples[0].Time {
+		return t.samples[0].Power
+	}
+	if x >= t.samples[n-1].Time {
+		return t.samples[n-1].Power
+	}
+	i := sort.Search(n, func(i int) bool { return t.samples[i].Time >= x })
+	a, b := t.samples[i-1], t.samples[i]
+	frac := (x - a.Time) / (b.Time - a.Time)
+	return a.Power + Watts(frac)*(b.Power-a.Power)
+}
+
+// Energy returns the trapezoidal integral of power over the full trace.
+func (t *Trace) Energy() (Joules, error) {
+	return t.EnergyBetween(t.Start(), t.End())
+}
+
+// EnergyBetween returns the trapezoidal integral of power over [a, b],
+// interpolating at the endpoints. It returns an error if the trace has
+// fewer than 2 samples or the window is empty or outside the trace.
+func (t *Trace) EnergyBetween(a, b float64) (Joules, error) {
+	if len(t.samples) < 2 {
+		return 0, ErrShortTrace
+	}
+	if a > b {
+		a, b = b, a
+	}
+	if a < t.Start()-1e-9 || b > t.End()+1e-9 {
+		return 0, fmt.Errorf("power: window [%v, %v] outside trace span [%v, %v]",
+			a, b, t.Start(), t.End())
+	}
+	if a == b {
+		return 0, nil
+	}
+	var total float64
+	prevT, prevP := a, float64(t.At(a))
+	i := sort.Search(len(t.samples), func(i int) bool { return t.samples[i].Time > a })
+	for ; i < len(t.samples) && t.samples[i].Time < b; i++ {
+		s := t.samples[i]
+		total += (float64(s.Power) + prevP) / 2 * (s.Time - prevT)
+		prevT, prevP = s.Time, float64(s.Power)
+	}
+	total += (float64(t.At(b)) + prevP) / 2 * (b - prevT)
+	return Joules(total), nil
+}
+
+// AverageBetween returns the time-weighted average power over [a, b].
+func (t *Trace) AverageBetween(a, b float64) (Watts, error) {
+	if a == b {
+		return t.At(a), nil
+	}
+	e, err := t.EnergyBetween(a, b)
+	if err != nil {
+		return 0, err
+	}
+	if a > b {
+		a, b = b, a
+	}
+	return Watts(float64(e) / (b - a)), nil
+}
+
+// Average returns the time-weighted average power over the whole trace.
+func (t *Trace) Average() (Watts, error) {
+	return t.AverageBetween(t.Start(), t.End())
+}
+
+// Peak returns the maximum sampled power. It panics on an empty trace.
+func (t *Trace) Peak() Watts {
+	if len(t.samples) == 0 {
+		panic("power: empty trace")
+	}
+	m := t.samples[0].Power
+	for _, s := range t.samples[1:] {
+		if s.Power > m {
+			m = s.Power
+		}
+	}
+	return m
+}
+
+// Slice returns a new trace restricted to [a, b], with interpolated
+// boundary samples so the restriction is exact under the piecewise-linear
+// model.
+func (t *Trace) Slice(a, b float64) (*Trace, error) {
+	if len(t.samples) < 2 {
+		return nil, ErrShortTrace
+	}
+	if a > b {
+		a, b = b, a
+	}
+	if a < t.Start()-1e-9 || b > t.End()+1e-9 {
+		return nil, fmt.Errorf("power: slice window [%v, %v] outside trace", a, b)
+	}
+	out := []Sample{{Time: a, Power: t.At(a)}}
+	for _, s := range t.samples {
+		if s.Time > a && s.Time < b {
+			out = append(out, s)
+		}
+	}
+	if b > a {
+		out = append(out, Sample{Time: b, Power: t.At(b)})
+	}
+	return NewTrace(out)
+}
+
+// Resample returns a new trace sampled at the given period starting at
+// Start(), always including the final time End(). It panics if period <= 0.
+func (t *Trace) Resample(period float64) *Trace {
+	if period <= 0 {
+		panic("power: Resample requires period > 0")
+	}
+	var out []Sample
+	for x := t.Start(); x < t.End(); x += period {
+		out = append(out, Sample{Time: x, Power: t.At(x)})
+	}
+	out = append(out, Sample{Time: t.End(), Power: t.At(t.End())})
+	nt, err := NewTrace(out)
+	if err != nil {
+		// Unreachable: construction above is strictly increasing.
+		panic(err)
+	}
+	return nt
+}
+
+// Scale returns a new trace with every power value multiplied by factor,
+// as used for linear extrapolation from a measured subset to the full
+// machine.
+func (t *Trace) Scale(factor float64) *Trace {
+	out := make([]Sample, len(t.samples))
+	for i, s := range t.samples {
+		out[i] = Sample{Time: s.Time, Power: s.Power * Watts(factor)}
+	}
+	return &Trace{samples: out}
+}
+
+// SumTraces returns the pointwise sum of traces over the intersection of
+// their spans, sampled at the union of their timestamps within it. It
+// returns an error if fewer than one trace is given or the spans do not
+// overlap.
+func SumTraces(traces ...*Trace) (*Trace, error) {
+	if len(traces) == 0 {
+		return nil, errors.New("power: SumTraces needs at least one trace")
+	}
+	lo, hi := traces[0].Start(), traces[0].End()
+	for _, tr := range traces[1:] {
+		if tr.Start() > lo {
+			lo = tr.Start()
+		}
+		if tr.End() < hi {
+			hi = tr.End()
+		}
+	}
+	if hi <= lo {
+		return nil, errors.New("power: traces do not overlap in time")
+	}
+	timeSet := map[float64]struct{}{}
+	for _, tr := range traces {
+		for _, s := range tr.samples {
+			if s.Time >= lo && s.Time <= hi {
+				timeSet[s.Time] = struct{}{}
+			}
+		}
+	}
+	timeSet[lo] = struct{}{}
+	timeSet[hi] = struct{}{}
+	times := make([]float64, 0, len(timeSet))
+	for x := range timeSet {
+		times = append(times, x)
+	}
+	sort.Float64s(times)
+	out := make([]Sample, len(times))
+	for i, x := range times {
+		var sum Watts
+		for _, tr := range traces {
+			sum += tr.At(x)
+		}
+		out[i] = Sample{Time: x, Power: sum}
+	}
+	return NewTrace(out)
+}

@@ -1,0 +1,46 @@
+package power
+
+import (
+	"errors"
+	"math"
+)
+
+// Map returns a new trace with every sample's power replaced by
+// f(time, power). f must return non-negative finite values.
+func (t *Trace) Map(f func(time float64, p Watts) Watts) (*Trace, error) {
+	out := make([]Sample, len(t.samples))
+	for i, s := range t.samples {
+		v := f(s.Time, s.Power)
+		if v < 0 || math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+			return nil, errors.New("power: Map produced an invalid power value")
+		}
+		out[i] = Sample{Time: s.Time, Power: v}
+	}
+	return NewTrace(out)
+}
+
+// WithValley returns a copy of the trace with a smooth multiplicative
+// power dip: within the normalized window [lo, hi] of the trace span,
+// power is reduced by up to depth (a raised-cosine profile, so the dip
+// has no discontinuities). This models a DVFS governor dropping clocks
+// and voltage for part of the run — the mechanism behind the deepest
+// "optimal interval" gaming results the paper cites.
+func (t *Trace) WithValley(lo, hi, depth float64) (*Trace, error) {
+	if !(lo >= 0 && lo < hi && hi <= 1) {
+		return nil, errors.New("power: invalid valley window")
+	}
+	if depth < 0 || depth >= 1 {
+		return nil, errors.New("power: valley depth outside [0, 1)")
+	}
+	start, span := t.Start(), t.Duration()
+	return t.Map(func(time float64, p Watts) Watts {
+		frac := (time - start) / span
+		if frac <= lo || frac >= hi {
+			return p
+		}
+		// Raised cosine: 0 at the edges, 1 at the window center.
+		phase := (frac - lo) / (hi - lo)
+		w := 0.5 * (1 - math.Cos(2*math.Pi*phase))
+		return p * Watts(1-depth*w)
+	})
+}

@@ -1,0 +1,158 @@
+package power
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMapScales(t *testing.T) {
+	tr := mustTrace(t, []Sample{{Time: 0, Power: 100}, {Time: 10, Power: 200}})
+	doubled, err := tr.Map(func(_ float64, p Watts) Watts { return 2 * p })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doubled.At(0) != 200 || doubled.At(10) != 400 {
+		t.Errorf("mapped trace wrong: %v, %v", doubled.At(0), doubled.At(10))
+	}
+	// Original untouched.
+	if tr.At(0) != 100 {
+		t.Error("Map mutated original")
+	}
+}
+
+func TestMapRejectsInvalid(t *testing.T) {
+	tr := mustTrace(t, []Sample{{Time: 0, Power: 100}, {Time: 10, Power: 200}})
+	if _, err := tr.Map(func(float64, Watts) Watts { return -1 }); err == nil {
+		t.Error("negative power accepted")
+	}
+	if _, err := tr.Map(func(float64, Watts) Watts { return Watts(math.NaN()) }); err == nil {
+		t.Error("NaN accepted")
+	}
+}
+
+func TestWithValleyShape(t *testing.T) {
+	// Flat 100 W trace; valley in [0.4, 0.6] with depth 0.5.
+	var samples []Sample
+	for i := 0; i <= 100; i++ {
+		samples = append(samples, Sample{Time: float64(i), Power: 100})
+	}
+	tr := mustTrace(t, samples)
+	dipped, err := tr.WithValley(0.4, 0.6, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Outside the valley: untouched.
+	if dipped.At(20) != 100 || dipped.At(80) != 100 {
+		t.Errorf("valley leaked outside window: %v, %v", dipped.At(20), dipped.At(80))
+	}
+	// Valley center: full depth.
+	if got := dipped.At(50); math.Abs(float64(got)-50) > 0.5 {
+		t.Errorf("valley center = %v, want ~50", got)
+	}
+	// Smooth: edges of the window stay near 100.
+	if got := dipped.At(41); float64(got) < 95 {
+		t.Errorf("valley edge too sharp: %v", got)
+	}
+	// Energy decreases.
+	e0, _ := tr.Energy()
+	e1, _ := dipped.Energy()
+	if e1 >= e0 {
+		t.Errorf("valley did not reduce energy: %v vs %v", e1, e0)
+	}
+}
+
+func TestWithValleyValidation(t *testing.T) {
+	tr := mustTrace(t, []Sample{{Time: 0, Power: 100}, {Time: 10, Power: 100}})
+	for _, c := range []struct{ lo, hi, depth float64 }{
+		{0.5, 0.4, 0.1}, {-0.1, 0.5, 0.1}, {0.2, 1.5, 0.1}, {0.2, 0.8, -0.1}, {0.2, 0.8, 1},
+	} {
+		if _, err := tr.WithValley(c.lo, c.hi, c.depth); err == nil {
+			t.Errorf("invalid valley (%v, %v, %v) accepted", c.lo, c.hi, c.depth)
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tr := mustTrace(t, []Sample{{Time: 0, Power: 100.5}, {Time: 1.5, Power: 200.25}, {Time: 3, Power: 150}})
+	var b strings.Builder
+	if err := tr.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != tr.Len() {
+		t.Fatalf("round trip length %d vs %d", back.Len(), tr.Len())
+	}
+	for i, s := range back.Samples() {
+		orig := tr.Samples()[i]
+		if s != orig {
+			t.Errorf("sample %d: %+v vs %+v", i, s, orig)
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("")); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("time_s,power_w\n")); err == nil {
+		t.Error("header-only input accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("1,2,3\n")); err == nil {
+		t.Error("three columns accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("t,p\n1,2\nbad,row\n")); err == nil {
+		t.Error("garbage row accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("2,5\n1,5\n")); err == nil {
+		t.Error("decreasing timestamps accepted")
+	}
+}
+
+func TestReadCSVWithoutHeader(t *testing.T) {
+	tr, err := ReadCSV(strings.NewReader("0,100\n1,110\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 2 || tr.At(1) != 110 {
+		t.Errorf("headerless parse: %+v", tr.Samples())
+	}
+}
+
+// Property: a valley never increases the average power, and zero depth is
+// the identity.
+func TestQuickValleyMonotone(t *testing.T) {
+	var samples []Sample
+	for i := 0; i <= 200; i++ {
+		samples = append(samples, Sample{Time: float64(i), Power: Watts(300 + 50*math.Sin(float64(i)/20))})
+	}
+	tr := mustTrace(t, samples)
+	base, _ := tr.Average()
+	f := func(loRaw, widthRaw, depthRaw uint8) bool {
+		lo := float64(loRaw) / 255 * 0.8
+		hi := lo + 0.05 + float64(widthRaw)/255*0.15
+		if hi > 1 {
+			hi = 1
+		}
+		depth := float64(depthRaw) / 255 * 0.9
+		dipped, err := tr.WithValley(lo, hi, depth)
+		if err != nil {
+			return false
+		}
+		avg, err := dipped.Average()
+		if err != nil {
+			return false
+		}
+		if depth == 0 {
+			return math.Abs(float64(avg-base)) < 1e-9
+		}
+		return avg <= base+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,168 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named line of (x, y) points for a chart.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// LineChart renders one or more series as an ASCII chart of the given
+// size. Each series is drawn with its own glyph; axes are annotated with
+// the data ranges.
+type LineChart struct {
+	Title         string
+	Width, Height int
+	Series        []Series
+	YLabel        string
+	XLabel        string
+}
+
+var glyphs = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// Write renders the chart.
+func (c *LineChart) Write(w io.Writer) error {
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 72
+	}
+	if height <= 0 {
+		height = 18
+	}
+	var xmin, xmax, ymin, ymax float64
+	first := true
+	for _, s := range c.Series {
+		if len(s.X) != len(s.Y) {
+			return fmt.Errorf("report: series %q has %d x for %d y", s.Name, len(s.X), len(s.Y))
+		}
+		for i := range s.X {
+			if first {
+				xmin, xmax, ymin, ymax = s.X[i], s.X[i], s.Y[i], s.Y[i]
+				first = false
+				continue
+			}
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, s.Y[i])
+			ymax = math.Max(ymax, s.Y[i])
+		}
+	}
+	if first {
+		return ErrEmptySeries
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range c.Series {
+		g := glyphs[si%len(glyphs)]
+		for i := range s.X {
+			col := int((s.X[i] - xmin) / (xmax - xmin) * float64(width-1))
+			row := int((s.Y[i] - ymin) / (ymax - ymin) * float64(height-1))
+			grid[height-1-row][col] = g
+		}
+	}
+	if c.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", c.Title); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s\n", yAxisLabel(c.YLabel, ymax)); err != nil {
+		return err
+	}
+	for _, rowBytes := range grid {
+		if _, err := fmt.Fprintf(w, "  |%s\n", string(rowBytes)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "  +%s\n", strings.Repeat("-", width)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "   %-12g%s%12g\n", xmin, strings.Repeat(" ", max(0, width-24)), xmax); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "   y: [%g, %g] %s   x: %s\n", ymin, ymax, c.YLabel, c.XLabel); err != nil {
+		return err
+	}
+	for si, s := range c.Series {
+		if _, err := fmt.Fprintf(w, "   %c %s\n", glyphs[si%len(glyphs)], s.Name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func yAxisLabel(label string, ymax float64) string {
+	return fmt.Sprintf("  %s (top = %g)", label, ymax)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// HistogramChart renders bin counts as a horizontal ASCII bar chart.
+type HistogramChart struct {
+	Title string
+	// BinLabels annotate each bar (e.g. the bin range).
+	BinLabels []string
+	Counts    []int
+	// MaxBarWidth bounds the longest bar (default 50).
+	MaxBarWidth int
+}
+
+// Write renders the histogram.
+func (h *HistogramChart) Write(w io.Writer) error {
+	if len(h.Counts) == 0 {
+		return ErrEmptySeries
+	}
+	if len(h.BinLabels) != len(h.Counts) {
+		return fmt.Errorf("report: %d labels for %d bins", len(h.BinLabels), len(h.Counts))
+	}
+	maxw := h.MaxBarWidth
+	if maxw <= 0 {
+		maxw = 50
+	}
+	peak := 0
+	labelW := 0
+	for i, c := range h.Counts {
+		if c > peak {
+			peak = c
+		}
+		if l := len([]rune(h.BinLabels[i])); l > labelW {
+			labelW = l
+		}
+	}
+	if peak == 0 {
+		peak = 1
+	}
+	if h.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", h.Title); err != nil {
+			return err
+		}
+	}
+	for i, c := range h.Counts {
+		bar := strings.Repeat("█", c*maxw/peak)
+		if c > 0 && bar == "" {
+			bar = "▏"
+		}
+		if _, err := fmt.Fprintf(w, "  %s %s %d\n", pad(h.BinLabels[i], labelW), bar, c); err != nil {
+			return err
+		}
+	}
+	return nil
+}

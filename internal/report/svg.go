@@ -1,0 +1,204 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// SVG rendering for the paper's figures: self-contained, dependency-free
+// vector output suitable for embedding in docs. The same Series /
+// histogram inputs drive both the ASCII and SVG renderers.
+
+// svgPalette holds line colors (colorblind-safe Okabe-Ito subset).
+var svgPalette = []string{"#0072B2", "#D55E00", "#009E73", "#CC79A7", "#E69F00", "#56B4E9"}
+
+// SVGOptions sizes an SVG chart.
+type SVGOptions struct {
+	Width, Height int // pixels; defaults 720x420
+}
+
+func (o SVGOptions) fill() SVGOptions {
+	if o.Width <= 0 {
+		o.Width = 720
+	}
+	if o.Height <= 0 {
+		o.Height = 420
+	}
+	return o
+}
+
+const svgMargin = 56
+
+// WriteSVG renders the line chart as an SVG document.
+func (c *LineChart) WriteSVG(w io.Writer, opts SVGOptions) error {
+	opts = opts.fill()
+	var xmin, xmax, ymin, ymax float64
+	first := true
+	for _, s := range c.Series {
+		if len(s.X) != len(s.Y) {
+			return fmt.Errorf("report: series %q has %d x for %d y", s.Name, len(s.X), len(s.Y))
+		}
+		for i := range s.X {
+			if first {
+				xmin, xmax, ymin, ymax = s.X[i], s.X[i], s.Y[i], s.Y[i]
+				first = false
+				continue
+			}
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, s.Y[i])
+			ymax = math.Max(ymax, s.Y[i])
+		}
+	}
+	if first {
+		return ErrEmptySeries
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	// A little vertical headroom.
+	pad := (ymax - ymin) * 0.05
+	ymin -= pad
+	ymax += pad
+
+	plotW := float64(opts.Width - 2*svgMargin)
+	plotH := float64(opts.Height - 2*svgMargin)
+	px := func(x float64) float64 { return svgMargin + (x-xmin)/(xmax-xmin)*plotW }
+	py := func(y float64) float64 { return float64(opts.Height) - svgMargin - (y-ymin)/(ymax-ymin)*plotH }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		opts.Width, opts.Height, opts.Width, opts.Height)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	if c.Title != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="24" font-family="sans-serif" font-size="15" font-weight="bold">%s</text>`+"\n",
+			svgMargin, svgEscape(c.Title))
+	}
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%g" x2="%d" y2="%g" stroke="#333"/>`+"\n",
+		svgMargin, float64(opts.Height)-svgMargin, opts.Width-svgMargin, float64(opts.Height)-svgMargin)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%g" x2="%d" y2="%g" stroke="#333"/>`+"\n",
+		svgMargin, float64(opts.Height)-svgMargin, svgMargin, float64(svgMargin))
+	// Gridlines and tick labels (5 ticks per axis).
+	for i := 0; i <= 5; i++ {
+		fx := xmin + (xmax-xmin)*float64(i)/5
+		fy := ymin + (ymax-ymin)*float64(i)/5
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#ddd"/>`+"\n",
+			px(fx), py(ymin), px(fx), py(ymax))
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#ddd"/>`+"\n",
+			px(xmin), py(fy), px(xmax), py(fy))
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="11" text-anchor="middle">%s</text>`+"\n",
+			px(fx), float64(opts.Height)-svgMargin+16, svgNum(fx))
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="11" text-anchor="end">%s</text>`+"\n",
+			float64(svgMargin)-6, py(fy)+4, svgNum(fy))
+	}
+	// Axis labels.
+	if c.XLabel != "" {
+		fmt.Fprintf(&b, `<text x="%g" y="%d" font-family="sans-serif" font-size="12" text-anchor="middle">%s</text>`+"\n",
+			float64(opts.Width)/2, opts.Height-8, svgEscape(c.XLabel))
+	}
+	if c.YLabel != "" {
+		fmt.Fprintf(&b, `<text x="14" y="%g" font-family="sans-serif" font-size="12" text-anchor="middle" transform="rotate(-90 14 %g)">%s</text>`+"\n",
+			float64(opts.Height)/2, float64(opts.Height)/2, svgEscape(c.YLabel))
+	}
+	// Series.
+	for si, s := range c.Series {
+		color := svgPalette[si%len(svgPalette)]
+		var path strings.Builder
+		for i := range s.X {
+			cmd := "L"
+			if i == 0 {
+				cmd = "M"
+			}
+			fmt.Fprintf(&path, "%s%g %g ", cmd, px(s.X[i]), py(s.Y[i]))
+		}
+		fmt.Fprintf(&b, `<path d="%s" fill="none" stroke="%s" stroke-width="1.8"/>`+"\n",
+			strings.TrimSpace(path.String()), color)
+		// Legend entry.
+		ly := svgMargin + 18*si
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="3"/>`+"\n",
+			opts.Width-svgMargin-150, ly, opts.Width-svgMargin-126, ly, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="11">%s</text>`+"\n",
+			opts.Width-svgMargin-120, ly+4, svgEscape(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteSVG renders the histogram as an SVG bar chart.
+func (h *HistogramChart) WriteSVG(w io.Writer, opts SVGOptions) error {
+	if len(h.Counts) == 0 {
+		return ErrEmptySeries
+	}
+	if len(h.BinLabels) != len(h.Counts) {
+		return fmt.Errorf("report: %d labels for %d bins", len(h.BinLabels), len(h.Counts))
+	}
+	opts = opts.fill()
+	peak := 0
+	for _, c := range h.Counts {
+		if c > peak {
+			peak = c
+		}
+	}
+	if peak == 0 {
+		peak = 1
+	}
+	plotW := float64(opts.Width - 2*svgMargin)
+	plotH := float64(opts.Height - 2*svgMargin)
+	barW := plotW / float64(len(h.Counts))
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		opts.Width, opts.Height, opts.Width, opts.Height)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	if h.Title != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="24" font-family="sans-serif" font-size="15" font-weight="bold">%s</text>`+"\n",
+			svgMargin, svgEscape(h.Title))
+	}
+	baseY := float64(opts.Height) - svgMargin
+	for i, c := range h.Counts {
+		x := float64(svgMargin) + float64(i)*barW
+		hgt := plotH * float64(c) / float64(peak)
+		fmt.Fprintf(&b, `<rect x="%g" y="%g" width="%g" height="%g" fill="#0072B2" stroke="white" stroke-width="0.5"/>`+"\n",
+			x, baseY-hgt, barW, hgt)
+	}
+	fmt.Fprintf(&b, `<line x1="%d" y1="%g" x2="%d" y2="%g" stroke="#333"/>`+"\n",
+		svgMargin, baseY, opts.Width-svgMargin, baseY)
+	// Sparse bin labels (at most 8).
+	stride := (len(h.BinLabels) + 7) / 8
+	for i := 0; i < len(h.BinLabels); i += stride {
+		x := float64(svgMargin) + (float64(i)+0.5)*barW
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="10" text-anchor="middle">%s</text>`+"\n",
+			x, baseY+14, svgEscape(h.BinLabels[i]))
+	}
+	fmt.Fprintf(&b, `<text x="%d" y="%g" font-family="sans-serif" font-size="11" text-anchor="end">%d</text>`+"\n",
+		svgMargin-6, float64(svgMargin)+4, peak)
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func svgEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+func svgNum(v float64) string {
+	a := math.Abs(v)
+	switch {
+	case a != 0 && (a < 0.01 || a >= 1e6):
+		return fmt.Sprintf("%.1e", v)
+	case a < 10:
+		return fmt.Sprintf("%.2f", v)
+	case a < 1000:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}

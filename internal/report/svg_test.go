@@ -1,0 +1,122 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func testChart() *LineChart {
+	return &LineChart{
+		Title:  "Figure X",
+		YLabel: "kW",
+		XLabel: "t/T",
+		Series: []Series{
+			{Name: "sys-a", X: []float64{0, 0.5, 1}, Y: []float64{100, 120, 80}},
+			{Name: "sys-b", X: []float64{0, 0.5, 1}, Y: []float64{90, 95, 88}},
+		},
+	}
+}
+
+func TestLineChartSVG(t *testing.T) {
+	var b strings.Builder
+	if err := testChart().WriteSVG(&b, SVGOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"<svg", "</svg>", "Figure X", "sys-a", "sys-b",
+		`stroke="#0072B2"`, `stroke="#D55E00"`, "<path", "kW", "t/T",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// One path per series.
+	if got := strings.Count(out, "<path"); got != 2 {
+		t.Errorf("path count = %d", got)
+	}
+}
+
+func TestLineChartSVGEmpty(t *testing.T) {
+	var b strings.Builder
+	if err := (&LineChart{}).WriteSVG(&b, SVGOptions{}); err != ErrEmptySeries {
+		t.Errorf("err = %v", err)
+	}
+	bad := &LineChart{Series: []Series{{Name: "x", X: []float64{1}, Y: []float64{1, 2}}}}
+	if err := bad.WriteSVG(&b, SVGOptions{}); err == nil {
+		t.Error("mismatched series accepted")
+	}
+}
+
+func TestLineChartSVGDegenerate(t *testing.T) {
+	c := &LineChart{Series: []Series{{Name: "pt", X: []float64{5}, Y: []float64{7}}}}
+	var b strings.Builder
+	if err := c.WriteSVG(&b, SVGOptions{Width: 300, Height: 200}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "NaN") || strings.Contains(b.String(), "Inf") {
+		t.Error("degenerate ranges produced NaN/Inf coordinates")
+	}
+}
+
+func TestHistogramSVG(t *testing.T) {
+	h := &HistogramChart{
+		Title:     "Node power",
+		BinLabels: []string{"200", "205", "210", "215"},
+		Counts:    []int{2, 30, 25, 3},
+	}
+	var b strings.Builder
+	if err := h.WriteSVG(&b, SVGOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if strings.Count(out, "<rect") != 5 { // background + 4 bars
+		t.Errorf("rect count = %d", strings.Count(out, "<rect"))
+	}
+	if !strings.Contains(out, "Node power") {
+		t.Error("missing title")
+	}
+}
+
+func TestHistogramSVGErrors(t *testing.T) {
+	var b strings.Builder
+	if err := (&HistogramChart{}).WriteSVG(&b, SVGOptions{}); err != ErrEmptySeries {
+		t.Error("empty histogram accepted")
+	}
+	bad := &HistogramChart{BinLabels: []string{"a"}, Counts: []int{1, 2}}
+	if err := bad.WriteSVG(&b, SVGOptions{}); err == nil {
+		t.Error("mismatched labels accepted")
+	}
+}
+
+func TestSVGEscaping(t *testing.T) {
+	c := &LineChart{
+		Title:  `A <&> "B"`,
+		Series: []Series{{Name: "s<1>", X: []float64{0, 1}, Y: []float64{0, 1}}},
+	}
+	var b strings.Builder
+	if err := c.WriteSVG(&b, SVGOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if strings.Contains(out, "<&>") || strings.Contains(out, "s<1>") {
+		t.Error("unescaped markup in SVG text")
+	}
+	if !strings.Contains(out, "&lt;&amp;&gt;") {
+		t.Error("escape sequences missing")
+	}
+}
+
+func TestSVGNum(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{0, "0.00"}, {3.14159, "3.14"}, {123.456, "123.5"}, {54321, "54321"}, {1.5e7, "1.5e+07"}, {0.0001, "1.0e-04"},
+	}
+	for _, c := range cases {
+		if got := svgNum(c.v); got != c.want {
+			t.Errorf("svgNum(%v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}

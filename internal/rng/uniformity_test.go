@@ -1,0 +1,44 @@
+package rng_test
+
+import (
+	"testing"
+
+	"nodevar/internal/rng"
+	"nodevar/internal/stats"
+)
+
+// Chi-squared goodness-of-fit on Intn buckets, judged with this
+// repository's own χ² distribution — the RNG and the stats stack
+// validating each other. Lives in the external test package because
+// stats itself builds on rng.
+func TestIntnChiSquaredUniformity(t *testing.T) {
+	r := rng.New(20250704)
+	const buckets, draws = 32, 320000
+	counts := make([]int, buckets)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(buckets)]++
+	}
+	expected := float64(draws) / buckets
+	var x2 float64
+	for _, c := range counts {
+		d := float64(c) - expected
+		x2 += d * d / expected
+	}
+	p := 1 - stats.ChiSquared{K: buckets - 1}.CDF(x2)
+	if p < 0.001 {
+		t.Errorf("uniformity rejected: χ² = %v, p = %v", x2, p)
+	}
+}
+
+// The normal generator against the repository's own KS test.
+func TestNormFloat64KolmogorovSmirnov(t *testing.T) {
+	r := rng.New(77)
+	xs := make([]float64, 20000)
+	for i := range xs {
+		xs[i] = r.NormFloat64()
+	}
+	d, p := stats.KolmogorovSmirnov(xs, stats.StdNormal)
+	if p < 0.001 {
+		t.Errorf("KS rejected normal generator: D = %v, p = %v", d, p)
+	}
+}

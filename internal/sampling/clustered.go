@@ -1,0 +1,200 @@
+package sampling
+
+import (
+	"errors"
+	"math"
+
+	"nodevar/internal/rng"
+	"nodevar/internal/stats"
+)
+
+// In practice a Level 1 subset is rarely a simple random sample: sites
+// meter whatever shares a PDU — one or two whole racks. If racks differ
+// systematically (airflow position, delivery batch, cable length), a
+// rack-correlated subset is a *cluster sample* whose effective size is
+// far below its node count. This file quantifies that gap, extending the
+// paper's "subset selection ... play[s a] key role" observation.
+
+// RackedMachine is a machine whose per-node powers carry a shared
+// per-rack offset on top of node-level variation.
+type RackedMachine struct {
+	// Power holds per-node average power, rack-major: node i is in rack
+	// i / RackSize.
+	Power    []float64
+	RackSize int
+}
+
+// NewRackedMachine synthesizes a machine of racks*rackSize nodes with
+// node-level variation sigmaNode and rack-level variation sigmaRack
+// around mean mu.
+func NewRackedMachine(racks, rackSize int, mu, sigmaNode, sigmaRack float64, seed uint64) (*RackedMachine, error) {
+	if racks < 2 || rackSize < 1 {
+		return nil, errors.New("sampling: need at least 2 racks of 1+ nodes")
+	}
+	if mu <= 0 || sigmaNode < 0 || sigmaRack < 0 {
+		return nil, errors.New("sampling: invalid rack machine parameters")
+	}
+	r := rng.New(seed)
+	m := &RackedMachine{Power: make([]float64, racks*rackSize), RackSize: rackSize}
+	for rack := 0; rack < racks; rack++ {
+		offset := r.Normal(0, sigmaRack)
+		for j := 0; j < rackSize; j++ {
+			m.Power[rack*rackSize+j] = mu + offset + r.Normal(0, sigmaNode)
+		}
+	}
+	return m, nil
+}
+
+// N returns the node count.
+func (m *RackedMachine) N() int { return len(m.Power) }
+
+// Racks returns the rack count.
+func (m *RackedMachine) Racks() int { return len(m.Power) / m.RackSize }
+
+// TrueMean returns the machine-wide mean node power.
+func (m *RackedMachine) TrueMean() float64 { return stats.Mean(m.Power) }
+
+// SubsetStrategy selects how a measured subset is chosen.
+type SubsetStrategy int
+
+const (
+	// SimpleRandom draws nodes uniformly without replacement — the
+	// assumption behind Equation 5.
+	SimpleRandom SubsetStrategy = iota
+	// WholeRacks meters complete racks (the convenient PDU-level hookup).
+	WholeRacks
+	// StratifiedByRack draws an equal share of nodes from every rack —
+	// the variance-minimizing design.
+	StratifiedByRack
+)
+
+// String names the strategy.
+func (s SubsetStrategy) String() string {
+	switch s {
+	case SimpleRandom:
+		return "simple random"
+	case WholeRacks:
+		return "whole racks"
+	case StratifiedByRack:
+		return "stratified by rack"
+	default:
+		return "unknown"
+	}
+}
+
+// Subset draws n node indices using the strategy. For WholeRacks, n is
+// rounded up to a whole number of racks. It returns an error if n is out
+// of range.
+func (m *RackedMachine) Subset(strategy SubsetStrategy, n int, r *rng.Rand) ([]int, error) {
+	if n < 1 || n > m.N() {
+		return nil, errors.New("sampling: subset size out of range")
+	}
+	switch strategy {
+	case SimpleRandom:
+		return r.SampleWithoutReplacement(m.N(), n), nil
+	case WholeRacks:
+		racksNeeded := (n + m.RackSize - 1) / m.RackSize
+		rackIdx := r.SampleWithoutReplacement(m.Racks(), racksNeeded)
+		out := make([]int, 0, racksNeeded*m.RackSize)
+		for _, rk := range rackIdx {
+			for j := 0; j < m.RackSize; j++ {
+				out = append(out, rk*m.RackSize+j)
+			}
+		}
+		return out, nil
+	case StratifiedByRack:
+		racks := m.Racks()
+		out := make([]int, 0, n)
+		base := n / racks
+		extra := n % racks
+		extraRacks := map[int]bool{}
+		for _, rk := range r.SampleWithoutReplacement(racks, extra) {
+			extraRacks[rk] = true
+		}
+		for rk := 0; rk < racks; rk++ {
+			k := base
+			if extraRacks[rk] {
+				k++
+			}
+			if k == 0 {
+				continue
+			}
+			if k > m.RackSize {
+				k = m.RackSize
+			}
+			for _, j := range r.SampleWithoutReplacement(m.RackSize, k) {
+				out = append(out, rk*m.RackSize+j)
+			}
+		}
+		if len(out) == 0 {
+			return nil, errors.New("sampling: stratified subset came up empty")
+		}
+		return out, nil
+	default:
+		return nil, errors.New("sampling: unknown subset strategy")
+	}
+}
+
+// SubsetStudyResult summarizes repeated extrapolations under one
+// strategy.
+type SubsetStudyResult struct {
+	Strategy SubsetStrategy
+	// NodesUsed is the realized subset size (whole-rack rounding may
+	// exceed the request).
+	NodesUsed int
+	// RMSError is the root-mean-square relative extrapolation error.
+	RMSError float64
+	// MaxAbsError is the worst relative error observed.
+	MaxAbsError float64
+	// EffectiveSampleSize inverts the SRS error formula: the SRS size
+	// that would produce the same RMS error.
+	EffectiveSampleSize float64
+}
+
+// SubsetStudy repeatedly extrapolates the machine mean from subsets of
+// roughly n nodes under each strategy and reports the error each design
+// actually delivers.
+func SubsetStudy(m *RackedMachine, strategies []SubsetStrategy, n, trials int, seed uint64) ([]SubsetStudyResult, error) {
+	if trials < 10 {
+		return nil, errors.New("sampling: need at least 10 trials")
+	}
+	truth := m.TrueMean()
+	popSD := stats.StdDev(m.Power)
+	r := rng.New(seed)
+	var out []SubsetStudyResult
+	for _, strat := range strategies {
+		var sumSq, worst float64
+		used := 0
+		for trial := 0; trial < trials; trial++ {
+			idx, err := m.Subset(strat, n, r)
+			if err != nil {
+				return nil, err
+			}
+			used = len(idx)
+			var sum float64
+			for _, i := range idx {
+				sum += m.Power[i]
+			}
+			rel := (sum/float64(len(idx)) - truth) / truth
+			sumSq += rel * rel
+			if a := math.Abs(rel); a > worst {
+				worst = a
+			}
+		}
+		rms := math.Sqrt(sumSq / float64(trials))
+		// SRS with FPC: rms ≈ (σ/μ)/√n_eff · √((N-n_eff)/(N-1)); solve
+		// for n_eff ignoring the FPC (conservative for n << N).
+		eff := math.Inf(1)
+		if rms > 0 {
+			eff = math.Pow(popSD/truth/rms, 2)
+		}
+		out = append(out, SubsetStudyResult{
+			Strategy:            strat,
+			NodesUsed:           used,
+			RMSError:            rms,
+			MaxAbsError:         worst,
+			EffectiveSampleSize: eff,
+		})
+	}
+	return out, nil
+}

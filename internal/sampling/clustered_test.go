@@ -1,0 +1,158 @@
+package sampling
+
+import (
+	"math"
+	"testing"
+
+	"nodevar/internal/rng"
+)
+
+func testMachine(t *testing.T) *RackedMachine {
+	t.Helper()
+	m, err := NewRackedMachine(40, 24, 400, 6, 6, 3) // strong rack effect
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewRackedMachineValidation(t *testing.T) {
+	if _, err := NewRackedMachine(1, 10, 400, 5, 5, 1); err == nil {
+		t.Error("single rack accepted")
+	}
+	if _, err := NewRackedMachine(4, 0, 400, 5, 5, 1); err == nil {
+		t.Error("empty racks accepted")
+	}
+	if _, err := NewRackedMachine(4, 10, -1, 5, 5, 1); err == nil {
+		t.Error("negative mean accepted")
+	}
+}
+
+func TestRackedMachineStructure(t *testing.T) {
+	m := testMachine(t)
+	if m.N() != 960 || m.Racks() != 40 {
+		t.Errorf("machine shape: %d nodes, %d racks", m.N(), m.Racks())
+	}
+	if mu := m.TrueMean(); math.Abs(mu-400) > 5 {
+		t.Errorf("mean = %v", mu)
+	}
+}
+
+func TestSubsetStrategies(t *testing.T) {
+	m := testMachine(t)
+	r := rng.New(7)
+	// SRS: exact size, all distinct, in range.
+	idx, err := m.Subset(SimpleRandom, 48, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx) != 48 {
+		t.Errorf("SRS size = %d", len(idx))
+	}
+	// WholeRacks: rounded up to full racks, contiguous rack blocks.
+	idx, err = m.Subset(WholeRacks, 30, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx) != 48 { // ceil(30/24)=2 racks
+		t.Errorf("whole-rack size = %d, want 48", len(idx))
+	}
+	rackSeen := map[int]int{}
+	for _, i := range idx {
+		rackSeen[i/24]++
+	}
+	if len(rackSeen) != 2 {
+		t.Errorf("racks covered = %d", len(rackSeen))
+	}
+	for rk, c := range rackSeen {
+		if c != 24 {
+			t.Errorf("rack %d partially covered: %d", rk, c)
+		}
+	}
+	// Stratified: spread across all racks.
+	idx, err = m.Subset(StratifiedByRack, 80, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx) != 80 {
+		t.Errorf("stratified size = %d", len(idx))
+	}
+	rackSeen = map[int]int{}
+	for _, i := range idx {
+		rackSeen[i/24]++
+	}
+	if len(rackSeen) != 40 {
+		t.Errorf("stratified covered %d racks, want all 40", len(rackSeen))
+	}
+	// Errors.
+	if _, err := m.Subset(SimpleRandom, 0, r); err == nil {
+		t.Error("zero subset accepted")
+	}
+	if _, err := m.Subset(SubsetStrategy(9), 10, r); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+}
+
+func TestSubsetStudyOrdering(t *testing.T) {
+	m := testMachine(t)
+	results, err := SubsetStudy(m,
+		[]SubsetStrategy{SimpleRandom, WholeRacks, StratifiedByRack},
+		48, 3000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byStrat := map[SubsetStrategy]SubsetStudyResult{}
+	for _, res := range results {
+		byStrat[res.Strategy] = res
+	}
+	srs := byStrat[SimpleRandom]
+	racks := byStrat[WholeRacks]
+	strat := byStrat[StratifiedByRack]
+	// With a strong rack effect: stratified <= SRS << whole racks.
+	if !(strat.RMSError <= srs.RMSError*1.05) {
+		t.Errorf("stratified RMS %v not below SRS %v", strat.RMSError, srs.RMSError)
+	}
+	if !(racks.RMSError > 2*srs.RMSError) {
+		t.Errorf("whole-rack RMS %v not far above SRS %v", racks.RMSError, srs.RMSError)
+	}
+	// The effective sample size of a 2-rack (48-node) subset collapses
+	// toward the number of racks, not nodes.
+	if racks.EffectiveSampleSize > 15 {
+		t.Errorf("whole-rack effective n = %v, expected rack-limited (~2-10)",
+			racks.EffectiveSampleSize)
+	}
+	if srs.EffectiveSampleSize < 30 {
+		t.Errorf("SRS effective n = %v, want ~48", srs.EffectiveSampleSize)
+	}
+}
+
+func TestSubsetStudyNoRackEffect(t *testing.T) {
+	// Without rack-level variation, all strategies are equivalent.
+	m, err := NewRackedMachine(40, 24, 400, 8, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := SubsetStudy(m,
+		[]SubsetStrategy{SimpleRandom, WholeRacks}, 48, 3000, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := results[1].RMSError / results[0].RMSError
+	if ratio < 0.7 || ratio > 1.4 {
+		t.Errorf("without rack effect the strategies should match: ratio %v", ratio)
+	}
+}
+
+func TestSubsetStudyErrors(t *testing.T) {
+	m := testMachine(t)
+	if _, err := SubsetStudy(m, []SubsetStrategy{SimpleRandom}, 10, 3, 1); err == nil {
+		t.Error("too few trials accepted")
+	}
+}
+
+func TestSubsetStrategyString(t *testing.T) {
+	if SimpleRandom.String() == "" || WholeRacks.String() == "" ||
+		StratifiedByRack.String() == "" || SubsetStrategy(9).String() != "unknown" {
+		t.Error("strategy names")
+	}
+}

@@ -1,0 +1,179 @@
+package sampling
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"nodevar/internal/parallel"
+	"nodevar/internal/rng"
+	"nodevar/internal/stats"
+)
+
+// CoverageConfig describes a Figure-3 style bootstrap calibration study.
+type CoverageConfig struct {
+	// Pilot is the observed per-node power dataset (e.g. the 516-node LRZ
+	// pilot sample).
+	Pilot []float64
+	// Population is the full machine size N to simulate (e.g. 9216).
+	Population int
+	// SampleSizes are the subset sizes n to evaluate.
+	SampleSizes []int
+	// Levels are the nominal confidence levels, e.g. 0.80, 0.95, 0.99.
+	Levels []float64
+	// Replicates is the number of simulated machines per (n, level)
+	// point; the paper used 100000.
+	Replicates int
+	// Seed fixes the experiment's randomness.
+	Seed uint64
+	// Chunks controls the deterministic parallel decomposition (default
+	// 64). Results are bit-identical for a fixed (Seed, Chunks) pair
+	// regardless of GOMAXPROCS.
+	Chunks int
+	// UseZ replaces the exact t critical values of Equation 1 with the
+	// normal-quantile approximation of Equation 2, quantifying the
+	// paper's small-n under-coverage caveat.
+	UseZ bool
+}
+
+// Validate checks the configuration.
+func (c CoverageConfig) Validate() error {
+	switch {
+	case len(c.Pilot) < 2:
+		return errors.New("sampling: coverage study needs a pilot of at least 2 nodes")
+	case c.Population < 2:
+		return errors.New("sampling: population must be at least 2")
+	case len(c.SampleSizes) == 0:
+		return errors.New("sampling: no sample sizes given")
+	case len(c.Levels) == 0:
+		return errors.New("sampling: no confidence levels given")
+	case c.Replicates < 1:
+		return errors.New("sampling: replicates must be positive")
+	}
+	for _, n := range c.SampleSizes {
+		if n < 2 || n > c.Population {
+			return fmt.Errorf("sampling: sample size %d outside [2, %d]", n, c.Population)
+		}
+	}
+	for _, lv := range c.Levels {
+		if !(lv > 0 && lv < 1) {
+			return fmt.Errorf("sampling: confidence level %v outside (0, 1)", lv)
+		}
+	}
+	return nil
+}
+
+// CoveragePoint is the simulated coverage of one (n, level) pair.
+type CoveragePoint struct {
+	SampleSize int
+	Level      float64
+	// Coverage is the fraction of replicates whose interval contained the
+	// simulated machine's true mean.
+	Coverage float64
+	// MeanRelWidth is the average relative half-width of the intervals,
+	// a measure of how tight the estimates are.
+	MeanRelWidth float64
+	Replicates   int
+}
+
+// Miscalibration returns |Coverage - Level|.
+func (p CoveragePoint) Miscalibration() float64 {
+	d := p.Coverage - p.Level
+	if d < 0 {
+		d = -d
+	}
+	return d
+}
+
+// CoverageStudy runs the paper's four-step bootstrap procedure
+// (Section 4.2) for every configured sample size and level:
+//
+//  1. simulate a complete machine of Population nodes by resampling the
+//     pilot with replacement,
+//  2. draw a subset of n nodes without replacement,
+//  3. form the t-based interval of Equation 1,
+//  4. check whether it covers the simulated machine's true mean.
+//
+// Replicates are distributed over deterministic RNG chunks and run in
+// parallel.
+func CoverageStudy(cfg CoverageConfig) ([]CoveragePoint, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	chunks := cfg.Chunks
+	if chunks <= 0 {
+		chunks = 64
+	}
+	root := rng.New(cfg.Seed)
+	points := make([]CoveragePoint, 0, len(cfg.SampleSizes)*len(cfg.Levels))
+
+	for _, n := range cfg.SampleSizes {
+		// Precompute the critical values for this n.
+		crit := make([]float64, len(cfg.Levels))
+		for i, lv := range cfg.Levels {
+			if cfg.UseZ {
+				crit[i] = stats.ZQuantile(1 - (1-lv)/2)
+			} else {
+				crit[i] = stats.TQuantile(n-1, 1-(1-lv)/2)
+			}
+		}
+		hits := make([]int64, len(cfg.Levels))
+		var widthSum float64
+		var mu sync.Mutex
+
+		parallel.ForSeededChunks(cfg.Replicates, chunks, root, func(r parallel.Range, stream *rng.Rand) {
+			machine := make([]float64, cfg.Population)
+			localHits := make([]int64, len(cfg.Levels))
+			var localWidth float64
+			for rep := r.Lo; rep < r.Hi; rep++ {
+				// Step 1: bootstrap machine and its true mean.
+				var sum float64
+				for i := range machine {
+					v := cfg.Pilot[stream.Intn(len(cfg.Pilot))]
+					machine[i] = v
+					sum += v
+				}
+				trueMean := sum / float64(cfg.Population)
+				// Step 2: subset of n without replacement (partial
+				// Fisher-Yates; machine is regenerated each replicate so
+				// mutating it is safe).
+				var acc stats.Accumulator
+				for i := 0; i < n; i++ {
+					j := i + stream.Intn(cfg.Population-i)
+					machine[i], machine[j] = machine[j], machine[i]
+					acc.Add(machine[i])
+				}
+				mean := acc.Mean()
+				se := acc.StdDev() / math.Sqrt(float64(n))
+				// Steps 3-4 for every level.
+				for li, cv := range crit {
+					half := cv * se
+					if mean-half <= trueMean && trueMean <= mean+half {
+						localHits[li]++
+					}
+				}
+				if mean != 0 {
+					localWidth += crit[0] * se / math.Abs(mean)
+				}
+			}
+			mu.Lock()
+			for li := range hits {
+				hits[li] += localHits[li]
+			}
+			widthSum += localWidth
+			mu.Unlock()
+		})
+
+		for li, lv := range cfg.Levels {
+			points = append(points, CoveragePoint{
+				SampleSize:   n,
+				Level:        lv,
+				Coverage:     float64(hits[li]) / float64(cfg.Replicates),
+				MeanRelWidth: widthSum / float64(cfg.Replicates),
+				Replicates:   cfg.Replicates,
+			})
+		}
+	}
+	return points, nil
+}

@@ -1,0 +1,290 @@
+package sampling
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPaperTable5Exact(t *testing.T) {
+	// Table 5 of the paper, verbatim.
+	want := [][]int{
+		{62, 137, 370}, // λ = 0.5%
+		{16, 35, 96},   // λ = 1%
+		{7, 16, 43},    // λ = 1.5%
+		{4, 9, 24},     // λ = 2%
+	}
+	got := PaperTable5()
+	for i := range want {
+		for j := range want[i] {
+			if got.N[i][j] != want[i][j] {
+				t.Errorf("Table5[λ=%v][cv=%v] = %d, want %d",
+					got.Accuracies[i], got.CVs[j], got.N[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+func TestBaseSampleSizeFormula(t *testing.T) {
+	// n0 = (z/λ · σ/μ)² with z(0.975) = 1.959964: for λ=2%, cv=2% this is
+	// z² = 3.8415.
+	p := Plan{Confidence: 0.95, Accuracy: 0.02, CV: 0.02}
+	n0, err := p.BaseSampleSize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(n0-3.8414588) > 1e-4 {
+		t.Errorf("n0 = %v", n0)
+	}
+}
+
+func TestRequiredSampleSizeInfinitePopulation(t *testing.T) {
+	p := Plan{Confidence: 0.95, Accuracy: 0.01, CV: 0.02}
+	n, err := p.RequiredSampleSize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 16 { // ceil(15.3658)
+		t.Errorf("n = %d, want 16", n)
+	}
+}
+
+func TestRequiredSampleSizeFPCShrinks(t *testing.T) {
+	base := Plan{Confidence: 0.95, Accuracy: 0.005, CV: 0.05}
+	inf, err := base.RequiredSampleSize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.Population = 1000
+	fin, err := base.RequiredSampleSize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin >= inf {
+		t.Errorf("FPC did not shrink: finite %d vs infinite %d", fin, inf)
+	}
+}
+
+func TestRequiredSampleSizeClamps(t *testing.T) {
+	// Tiny requirement clamps to 2.
+	p := Plan{Confidence: 0.8, Accuracy: 0.5, CV: 0.01}
+	n, err := p.RequiredSampleSize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Errorf("clamped n = %d, want 2", n)
+	}
+	// Never exceeds population.
+	p = Plan{Confidence: 0.99, Accuracy: 0.0001, CV: 0.05, Population: 50}
+	n, err = p.RequiredSampleSize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 50 {
+		t.Errorf("population-capped n = %d, want 50", n)
+	}
+}
+
+func TestPlanValidate(t *testing.T) {
+	bad := []Plan{
+		{Confidence: 0, Accuracy: 0.01, CV: 0.02},
+		{Confidence: 1, Accuracy: 0.01, CV: 0.02},
+		{Confidence: 0.95, Accuracy: 0, CV: 0.02},
+		{Confidence: 0.95, Accuracy: 0.01, CV: 0},
+		{Confidence: 0.95, Accuracy: 0.01, CV: 0.02, Population: -1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad plan %d accepted", i)
+		}
+	}
+}
+
+func TestExpectedAccuracyPaperIntro(t *testing.T) {
+	// Section 4 intro: 210-node machine, σ/μ = 2%, 1/64 rule → 4 nodes →
+	// "within 3.2% of the true total" at 95%.
+	n := Level1Nodes(210)
+	if n != 4 {
+		t.Fatalf("Level1Nodes(210) = %d, want 4", n)
+	}
+	p := Plan{Confidence: 0.95, CV: 0.02, Accuracy: 0.01}
+	acc, err := p.ExpectedAccuracy(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(acc-0.032) > 0.001 {
+		t.Errorf("accuracy with 4 nodes = %.4f, paper says 3.2%%", acc)
+	}
+	// 18688-node machine → 292 nodes → within 0.2%.
+	n = Level1Nodes(18688)
+	if n != 292 {
+		t.Fatalf("Level1Nodes(18688) = %d, want 292", n)
+	}
+	p.Population = 18688
+	acc, err = p.ExpectedAccuracy(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(acc-0.002) > 0.0005 {
+		t.Errorf("accuracy with 292 nodes = %.4f, paper says 0.2%%", acc)
+	}
+}
+
+func TestConclusionElevenNodes(t *testing.T) {
+	// Section 6: with σ/μ in 0.015-0.025 and 95% confidence, "a
+	// measurement of at least 11 nodes [is] reasonable even for very
+	// large systems" for λ = 1.5%.
+	p := Plan{Confidence: 0.95, Accuracy: 0.015, CV: 0.025, Population: 100000}
+	n, err := p.RequiredSampleSize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 11 {
+		t.Errorf("conclusion sample size = %d, paper says 11", n)
+	}
+}
+
+func TestRevisedRuleNodes(t *testing.T) {
+	cases := []struct{ total, want int }{
+		{10, 10},      // capped at system size
+		{16, 16},      // exactly 16
+		{100, 16},     // 10% = 10 < 16
+		{160, 16},     // 10% = 16
+		{500, 50},     // 10% wins
+		{18688, 1869}, // ceil(18688/10)
+	}
+	for _, c := range cases {
+		if got := RevisedRuleNodes(c.total); got != c.want {
+			t.Errorf("RevisedRuleNodes(%d) = %d, want %d", c.total, got, c.want)
+		}
+	}
+}
+
+func TestLevel1NodesRounding(t *testing.T) {
+	cases := []struct{ total, want int }{
+		{1, 1}, {64, 1}, {65, 2}, {128, 2}, {210, 4}, {18688, 292},
+	}
+	for _, c := range cases {
+		if got := Level1Nodes(c.total); got != c.want {
+			t.Errorf("Level1Nodes(%d) = %d, want %d", c.total, got, c.want)
+		}
+	}
+}
+
+func TestRulePanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"level1":  func() { Level1Nodes(0) },
+		"revised": func() { RevisedRuleNodes(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestBuildTableErrors(t *testing.T) {
+	if _, err := BuildTable(nil, []float64{0.02}, 100, 0.95); err == nil {
+		t.Error("empty accuracies accepted")
+	}
+	if _, err := BuildTable([]float64{0.01}, []float64{-1}, 100, 0.95); err == nil {
+		t.Error("negative CV accepted")
+	}
+}
+
+func TestTwoPhase(t *testing.T) {
+	// Pilot with mean 100, sd 2 → cv 2%; λ=1% at 95% → 16 nodes.
+	pilot := []float64{98, 102, 98.585786437626905, 101.414213562373095,
+		100, 100, 98, 102, 98.585786437626905, 101.414213562373095}
+	n, err := TwoPhase(pilot, 0.95, 0.01, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// cv of this pilot is ~1.8%; required n = ceil((1.96*1.8)²)…
+	// just sanity-check the ballpark and monotonicity.
+	if n < 8 || n > 20 {
+		t.Errorf("two-phase n = %d", n)
+	}
+	n2, err := TwoPhase(pilot, 0.95, 0.005, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n2 <= n {
+		t.Errorf("tighter accuracy did not increase n: %d vs %d", n2, n)
+	}
+	if _, err := TwoPhase([]float64{1}, 0.95, 0.01, 0); err == nil {
+		t.Error("single-node pilot accepted")
+	}
+	if _, err := TwoPhase([]float64{-5, -7}, 0.95, 0.01, 0); err == nil {
+		t.Error("negative-mean pilot accepted")
+	}
+}
+
+// Property: required sample size decreases in λ and increases in CV.
+func TestQuickSampleSizeMonotone(t *testing.T) {
+	f := func(lamRaw, cvRaw uint8) bool {
+		lam := 0.002 + float64(lamRaw)/255*0.03
+		cv := 0.005 + float64(cvRaw)/255*0.05
+		p := Plan{Confidence: 0.95, Accuracy: lam, CV: cv, Population: 10000}
+		n1, err1 := p.RequiredSampleSize()
+		p.Accuracy = lam * 2
+		n2, err2 := p.RequiredSampleSize()
+		p.Accuracy = lam
+		p.CV = cv * 2
+		n3, err3 := p.RequiredSampleSize()
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		return n2 <= n1 && n3 >= n1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ExpectedAccuracy at the recommended n meets the plan target,
+// allowing the small t-vs-z gap the paper documents at tiny n.
+func TestQuickRecommendationMeetsTarget(t *testing.T) {
+	f := func(lamRaw, cvRaw uint8) bool {
+		lam := 0.004 + float64(lamRaw)/255*0.02
+		cv := 0.01 + float64(cvRaw)/255*0.04
+		p := Plan{Confidence: 0.95, Accuracy: lam, CV: cv, Population: 10000}
+		n, err := p.RequiredSampleSize()
+		if err != nil {
+			return false
+		}
+		acc, err := p.ExpectedAccuracy(n)
+		if err != nil {
+			return false
+		}
+		// The z-based recommendation is optimistic at small n because
+		// t > z (the paper's Section 4.2 caveat: ~9% too narrow at n=15,
+		// rapidly worse below; at n <= 4 the t quantile explodes and the
+		// z approximation is simply not meaningful, so skip that regime).
+		if n <= 4 {
+			return true
+		}
+		slack := 1.05
+		if n < 30 {
+			slack = 1.5
+		}
+		return acc <= lam*slack
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkRequiredSampleSize(b *testing.B) {
+	p := Plan{Confidence: 0.95, Accuracy: 0.01, CV: 0.025, Population: 10000}
+	for i := 0; i < b.N; i++ {
+		if _, err := p.RequiredSampleSize(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package stats
+
+import (
+	"errors"
+	"sort"
+
+	"nodevar/internal/rng"
+)
+
+// BootstrapCI computes a percentile-bootstrap confidence interval for an
+// arbitrary statistic of the sample xs: B resampled datasets are drawn
+// with replacement, the statistic is evaluated on each, and the interval
+// is cut from the empirical quantiles of those replicates.
+//
+// It complements the parametric t interval of Equation 1: it needs no
+// normality assumption, at the cost of B statistic evaluations.
+func BootstrapCI(xs []float64, stat func([]float64) float64, b int, confidence float64, seed uint64) (Interval, error) {
+	if len(xs) < 2 {
+		return Interval{}, errors.New("stats: BootstrapCI needs at least 2 observations")
+	}
+	if b < 100 {
+		return Interval{}, errors.New("stats: BootstrapCI needs at least 100 replicates")
+	}
+	if !(confidence > 0 && confidence < 1) {
+		return Interval{}, errors.New("stats: confidence must be in (0, 1)")
+	}
+	r := rng.New(seed)
+	center := stat(xs)
+	replicates := make([]float64, b)
+	resample := make([]float64, len(xs))
+	for i := 0; i < b; i++ {
+		for j := range resample {
+			resample[j] = xs[r.Intn(len(xs))]
+		}
+		replicates[i] = stat(resample)
+	}
+	sort.Float64s(replicates)
+	alpha := 1 - confidence
+	lo := QuantileSorted(replicates, alpha/2)
+	hi := QuantileSorted(replicates, 1-alpha/2)
+	// Express as a center ± half-width interval around the point
+	// estimate; keep the asymmetric endpoints by widening to cover both.
+	half := hi - center
+	if d := center - lo; d > half {
+		half = d
+	}
+	return Interval{Center: center, HalfWidth: half, Confidence: confidence}, nil
+}
+
+// BootstrapSE estimates the standard error of a statistic by the
+// bootstrap.
+func BootstrapSE(xs []float64, stat func([]float64) float64, b int, seed uint64) (float64, error) {
+	if len(xs) < 2 {
+		return 0, errors.New("stats: BootstrapSE needs at least 2 observations")
+	}
+	if b < 100 {
+		return 0, errors.New("stats: BootstrapSE needs at least 100 replicates")
+	}
+	r := rng.New(seed)
+	var acc Accumulator
+	resample := make([]float64, len(xs))
+	for i := 0; i < b; i++ {
+		for j := range resample {
+			resample[j] = xs[r.Intn(len(xs))]
+		}
+		acc.Add(stat(resample))
+	}
+	return acc.StdDev(), nil
+}

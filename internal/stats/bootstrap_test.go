@@ -1,0 +1,105 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"nodevar/internal/rng"
+)
+
+func TestBootstrapCIMeanAgreesWithT(t *testing.T) {
+	r := rng.New(3)
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = r.Normal(400, 10)
+	}
+	boot, err := BootstrapCI(xs, Mean, 3000, 0.95, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	param := MeanCI(xs, CIOptions{Confidence: 0.95})
+	if math.Abs(boot.Center-param.Center) > 1e-9 {
+		t.Errorf("centers differ: %v vs %v", boot.Center, param.Center)
+	}
+	// On normal data the bootstrap and t intervals agree within ~20%.
+	if ratio := boot.HalfWidth / param.HalfWidth; ratio < 0.8 || ratio > 1.3 {
+		t.Errorf("width ratio = %v", ratio)
+	}
+}
+
+func TestBootstrapCICoverage(t *testing.T) {
+	// Long-run coverage on a skewed statistic (the CV), where the
+	// parametric normal-theory interval has no closed form.
+	r := rng.New(11)
+	const trials = 250
+	trueCV := 5.0 / 400
+	covered := 0
+	cv := func(xs []float64) float64 { return CoefficientOfVariation(xs) }
+	for trial := 0; trial < trials; trial++ {
+		xs := make([]float64, 60)
+		for i := range xs {
+			xs[i] = r.Normal(400, 5)
+		}
+		ci, err := BootstrapCI(xs, cv, 600, 0.90, uint64(trial))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ci.Contains(trueCV) {
+			covered++
+		}
+	}
+	rate := float64(covered) / trials
+	if rate < 0.82 {
+		t.Errorf("bootstrap CV coverage = %v, want >= ~0.90 (symmetrized interval over-covers)", rate)
+	}
+}
+
+func TestBootstrapCIErrors(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	if _, err := BootstrapCI(xs[:1], Mean, 500, 0.95, 1); err == nil {
+		t.Error("short sample accepted")
+	}
+	if _, err := BootstrapCI(xs, Mean, 10, 0.95, 1); err == nil {
+		t.Error("too few replicates accepted")
+	}
+	if _, err := BootstrapCI(xs, Mean, 500, 1.5, 1); err == nil {
+		t.Error("bad confidence accepted")
+	}
+}
+
+func TestBootstrapSE(t *testing.T) {
+	r := rng.New(5)
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = r.Normal(0, 10)
+	}
+	se, err := BootstrapSE(xs, Mean, 2000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SE of the mean ≈ σ/√n = 1; bootstrap should land within ~25%.
+	if se < 0.75 || se > 1.25 {
+		t.Errorf("bootstrap SE = %v, want ~1", se)
+	}
+	if _, err := BootstrapSE(xs, Mean, 5, 1); err == nil {
+		t.Error("too few replicates accepted")
+	}
+	if _, err := BootstrapSE(xs[:1], Mean, 500, 1); err == nil {
+		t.Error("short sample accepted")
+	}
+}
+
+func TestBootstrapDeterministicInSeed(t *testing.T) {
+	xs := []float64{5, 7, 9, 4, 6, 8, 5, 7}
+	a, err := BootstrapCI(xs, Mean, 500, 0.95, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BootstrapCI(xs, Mean, 500, 0.95, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("bootstrap not deterministic: %+v vs %+v", a, b)
+	}
+}

@@ -1,0 +1,22 @@
+package stats
+
+// Distribution is a continuous univariate probability distribution.
+//
+// Implementations in this package (Normal, StudentT, Uniform) supply the
+// density, cumulative distribution function and quantile (inverse CDF)
+// that the paper's confidence-interval machinery needs.
+type Distribution interface {
+	// PDF returns the probability density at x.
+	PDF(x float64) float64
+	// CDF returns P(X <= x).
+	CDF(x float64) float64
+	// Quantile returns the p-quantile, i.e. inf{x : CDF(x) >= p},
+	// for p in (0, 1). Implementations panic outside [0, 1] and may
+	// return ±Inf at the endpoints.
+	Quantile(p float64) float64
+	// Mean returns the distribution mean (NaN if undefined).
+	Mean() float64
+	// Variance returns the distribution variance (NaN or +Inf if
+	// undefined).
+	Variance() float64
+}

@@ -1,0 +1,58 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzRegIncompleteBeta checks the continued-fraction evaluation stays in
+// [0, 1] and monotone for arbitrary valid inputs.
+func FuzzRegIncompleteBeta(f *testing.F) {
+	f.Add(0.5, 0.5, 0.5)
+	f.Add(2.0, 3.0, 0.25)
+	f.Add(145.5, 0.5, 0.99)
+	f.Add(1e-3, 1e3, 0.01)
+	f.Fuzz(func(t *testing.T, a, b, x float64) {
+		if !(a > 0) || !(b > 0) || math.IsInf(a, 0) || math.IsInf(b, 0) || a > 1e6 || b > 1e6 {
+			return
+		}
+		if !(x >= 0 && x <= 1) {
+			return
+		}
+		v := RegIncompleteBeta(a, b, x)
+		if math.IsNaN(v) || v < -1e-12 || v > 1+1e-12 {
+			t.Fatalf("I_%v(%v,%v) = %v outside [0,1]", x, a, b, v)
+		}
+		// Monotonicity in x at a nearby point.
+		x2 := x + (1-x)*0.25
+		v2 := RegIncompleteBeta(a, b, x2)
+		if v2 < v-1e-9 {
+			t.Fatalf("CDF decreased: I(%v)=%v > I(%v)=%v for (a=%v, b=%v)", x, v, x2, v2, a, b)
+		}
+	})
+}
+
+// FuzzTQuantileCDF checks quantile/CDF consistency for the t distribution
+// across fuzzer-chosen degrees of freedom and probabilities.
+func FuzzTQuantileCDF(f *testing.F) {
+	f.Add(3.0, 0.975)
+	f.Add(1.0, 0.5)
+	f.Add(291.0, 0.995)
+	f.Fuzz(func(t *testing.T, nu, p float64) {
+		if !(nu > 0.5) || nu > 1e5 || math.IsInf(nu, 0) {
+			return
+		}
+		if !(p > 0.001 && p < 0.999) {
+			return
+		}
+		d := StudentT{Nu: nu}
+		x := d.Quantile(p)
+		if math.IsNaN(x) {
+			t.Fatalf("Quantile(%v) NaN for nu=%v", p, nu)
+		}
+		back := d.CDF(x)
+		if math.Abs(back-p) > 1e-6 {
+			t.Fatalf("CDF(Quantile(%v)) = %v for nu=%v", p, back, nu)
+		}
+	})
+}

@@ -1,0 +1,60 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// KolmogorovSmirnov compares a sample against a reference distribution
+// and returns the KS statistic D (the maximum |ECDF - CDF| gap) and an
+// asymptotic p-value. It panics on an empty sample.
+//
+// It complements the moment-based normality checks: where Jarque-Bera
+// looks at shape coefficients, KS looks at the whole CDF.
+func KolmogorovSmirnov(xs []float64, dist Distribution) (d, pValue float64) {
+	if len(xs) == 0 {
+		panic(ErrEmpty)
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	n := float64(len(sorted))
+	for i, x := range sorted {
+		f := dist.CDF(x)
+		upper := float64(i+1)/n - f
+		lower := f - float64(i)/n
+		if upper > d {
+			d = upper
+		}
+		if lower > d {
+			d = lower
+		}
+	}
+	return d, ksPValue(math.Sqrt(n) * d)
+}
+
+// ksPValue returns the asymptotic Kolmogorov survival function
+// Q(λ) = 2 Σ (-1)^{k-1} e^{-2k²λ²}.
+func ksPValue(lambda float64) float64 {
+	if lambda <= 0 {
+		return 1
+	}
+	var sum float64
+	sign := 1.0
+	for k := 1; k <= 100; k++ {
+		term := sign * math.Exp(-2*float64(k)*float64(k)*lambda*lambda)
+		sum += term
+		if math.Abs(term) < 1e-12 {
+			break
+		}
+		sign = -sign
+	}
+	p := 2 * sum
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	return p
+}

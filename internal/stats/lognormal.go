@@ -1,0 +1,74 @@
+package stats
+
+import "math"
+
+// LogNormal is the log-normal distribution: X = exp(N(Mu, Sigma²)). It is
+// the canonical heavily right-skewed distribution, used here to exercise
+// the paper's caveat that the sample-size methodology "will not be
+// appropriate in scenarios where the distribution of per-node power
+// consumption contains many outliers or is heavily skewed".
+type LogNormal struct {
+	Mu    float64
+	Sigma float64
+}
+
+var _ Distribution = LogNormal{}
+
+func (d LogNormal) check() {
+	if !(d.Sigma > 0) {
+		panic("stats: LogNormal requires Sigma > 0")
+	}
+}
+
+// PDF returns the density at x (0 for x <= 0).
+func (d LogNormal) PDF(x float64) float64 {
+	d.check()
+	if x <= 0 {
+		return 0
+	}
+	z := (math.Log(x) - d.Mu) / d.Sigma
+	return math.Exp(-0.5*z*z) / (x * d.Sigma * math.Sqrt(2*math.Pi))
+}
+
+// CDF returns P(X <= x).
+func (d LogNormal) CDF(x float64) float64 {
+	d.check()
+	if x <= 0 {
+		return 0
+	}
+	return Normal{Mu: d.Mu, Sigma: d.Sigma}.CDF(math.Log(x))
+}
+
+// Quantile returns the p-quantile.
+func (d LogNormal) Quantile(p float64) float64 {
+	d.check()
+	switch {
+	case p < 0 || p > 1 || math.IsNaN(p):
+		panic("stats: LogNormal.Quantile requires p in [0, 1]")
+	case p == 0:
+		return 0
+	case p == 1:
+		return math.Inf(1)
+	}
+	return math.Exp(Normal{Mu: d.Mu, Sigma: d.Sigma}.Quantile(p))
+}
+
+// Mean returns exp(Mu + Sigma²/2).
+func (d LogNormal) Mean() float64 {
+	d.check()
+	return math.Exp(d.Mu + d.Sigma*d.Sigma/2)
+}
+
+// Variance returns (exp(Sigma²)-1)·exp(2Mu+Sigma²).
+func (d LogNormal) Variance() float64 {
+	d.check()
+	s2 := d.Sigma * d.Sigma
+	return (math.Exp(s2) - 1) * math.Exp(2*d.Mu+s2)
+}
+
+// Skewness returns the distribution skewness (always positive).
+func (d LogNormal) Skewness() float64 {
+	d.check()
+	e := math.Exp(d.Sigma * d.Sigma)
+	return (e + 2) * math.Sqrt(e-1)
+}

@@ -1,0 +1,62 @@
+package stats
+
+import "math"
+
+// Normal is the normal (Gaussian) distribution with mean Mu and standard
+// deviation Sigma.
+type Normal struct {
+	Mu    float64
+	Sigma float64
+}
+
+// StdNormal is the standard normal distribution N(0, 1).
+var StdNormal = Normal{Mu: 0, Sigma: 1}
+
+var _ Distribution = Normal{}
+
+// PDF returns the normal density at x.
+func (d Normal) PDF(x float64) float64 {
+	if d.Sigma <= 0 {
+		panic("stats: Normal.PDF requires Sigma > 0")
+	}
+	z := (x - d.Mu) / d.Sigma
+	return math.Exp(-0.5*z*z) / (d.Sigma * math.Sqrt(2*math.Pi))
+}
+
+// CDF returns P(X <= x) for the normal distribution.
+func (d Normal) CDF(x float64) float64 {
+	if d.Sigma <= 0 {
+		panic("stats: Normal.CDF requires Sigma > 0")
+	}
+	z := (x - d.Mu) / (d.Sigma * math.Sqrt2)
+	return 0.5 * math.Erfc(-z)
+}
+
+// Quantile returns the p-quantile of the normal distribution. For p in
+// {0, 1} it returns ∓Inf. It panics for p outside [0, 1].
+func (d Normal) Quantile(p float64) float64 {
+	if d.Sigma <= 0 {
+		panic("stats: Normal.Quantile requires Sigma > 0")
+	}
+	switch {
+	case p < 0 || p > 1 || math.IsNaN(p):
+		panic("stats: Normal.Quantile requires p in [0, 1]")
+	case p == 0:
+		return math.Inf(-1)
+	case p == 1:
+		return math.Inf(1)
+	}
+	return d.Mu + d.Sigma*math.Sqrt2*math.Erfinv(2*p-1)
+}
+
+// Mean returns Mu.
+func (d Normal) Mean() float64 { return d.Mu }
+
+// Variance returns Sigma².
+func (d Normal) Variance() float64 { return d.Sigma * d.Sigma }
+
+// ZQuantile returns z_{p}, the p-quantile of the standard normal
+// distribution — the z_{1-α/2} appearing in Equations 2-5 of the paper.
+func ZQuantile(p float64) float64 {
+	return StdNormal.Quantile(p)
+}

@@ -1,0 +1,107 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// NormalityReport summarizes how compatible a sample is with the paper's
+// working assumption of approximately normal per-node power (Section 4.1).
+type NormalityReport struct {
+	N int
+	// Skewness and ExcessKurtosis are the sample shape statistics; both
+	// are 0 for exactly normal data.
+	Skewness       float64
+	ExcessKurtosis float64
+	// JarqueBera is the JB statistic; under normality it is asymptotically
+	// χ²(2) distributed.
+	JarqueBera float64
+	// JarqueBeraP is the asymptotic p-value exp(-JB/2).
+	JarqueBeraP float64
+	// AndersonDarling is the A*² statistic with the small-sample
+	// adjustment of D'Agostino & Stephens for the
+	// mean-and-variance-estimated case.
+	AndersonDarling float64
+	// AndersonDarlingP is the corresponding approximate p-value.
+	AndersonDarlingP float64
+}
+
+// ApproxNormal applies the paper's pragmatic standard: distributions that
+// are "roughly unimodal with few outliers" are treated as near-normal.
+// We operationalize that as |skewness| < 1 and |excess kurtosis| < 4,
+// deliberately loose because the bootstrap study (Figure 3) — not a
+// hypothesis test — is the real arbiter of whether CI calibration holds.
+func (r NormalityReport) ApproxNormal() bool {
+	return math.Abs(r.Skewness) < 1 && math.Abs(r.ExcessKurtosis) < 4
+}
+
+// CheckNormality computes the normality diagnostics for xs.
+// It panics if len(xs) < 8 (the shape statistics are meaningless below
+// that).
+func CheckNormality(xs []float64) NormalityReport {
+	if len(xs) < 8 {
+		panic("stats: CheckNormality needs at least 8 observations")
+	}
+	n := float64(len(xs))
+	var acc Accumulator
+	acc.AddSlice(xs)
+	skew := acc.Skewness()
+	kurt := acc.ExcessKurtosis()
+	jb := n / 6 * (skew*skew + kurt*kurt/4)
+	a2 := andersonDarling(xs, acc.Mean(), math.Sqrt(acc.PopulationVariance()))
+	a2star := a2 * (1 + 0.75/n + 2.25/(n*n))
+	return NormalityReport{
+		N:                len(xs),
+		Skewness:         skew,
+		ExcessKurtosis:   kurt,
+		JarqueBera:       jb,
+		JarqueBeraP:      math.Exp(-jb / 2), // χ²(2) survival function
+		AndersonDarling:  a2star,
+		AndersonDarlingP: adPValue(a2star),
+	}
+}
+
+// andersonDarling computes the A² statistic against N(mu, sigma).
+func andersonDarling(xs []float64, mu, sigma float64) float64 {
+	n := len(xs)
+	sorted := make([]float64, n)
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	dist := Normal{Mu: mu, Sigma: sigma}
+	var s float64
+	for i, x := range sorted {
+		f := dist.CDF(x)
+		// Clamp to avoid log(0) from extreme standardized values.
+		if f < 1e-300 {
+			f = 1e-300
+		}
+		if f > 1-1e-15 {
+			f = 1 - 1e-15
+		}
+		frev := dist.CDF(sorted[n-1-i])
+		if frev < 1e-300 {
+			frev = 1e-300
+		}
+		if frev > 1-1e-15 {
+			frev = 1 - 1e-15
+		}
+		s += (2*float64(i) + 1) * (math.Log(f) + math.Log(1-frev))
+	}
+	return -float64(n) - s/float64(n)
+}
+
+// adPValue converts the adjusted Anderson-Darling statistic to an
+// approximate p-value (D'Agostino & Stephens 1986, case 3: mean and
+// variance estimated).
+func adPValue(a2 float64) float64 {
+	switch {
+	case a2 >= 0.6:
+		return math.Exp(1.2937 - 5.709*a2 + 0.0186*a2*a2)
+	case a2 >= 0.34:
+		return math.Exp(0.9177 - 4.279*a2 - 1.38*a2*a2)
+	case a2 >= 0.2:
+		return 1 - math.Exp(-8.318+42.796*a2-59.938*a2*a2)
+	default:
+		return 1 - math.Exp(-13.436+101.14*a2-223.73*a2*a2)
+	}
+}

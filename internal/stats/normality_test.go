@@ -1,0 +1,104 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"nodevar/internal/rng"
+)
+
+func normalSample(seed uint64, n int, mu, sigma float64) []float64 {
+	r := rng.New(seed)
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = r.Normal(mu, sigma)
+	}
+	return xs
+}
+
+func TestCheckNormalityAcceptsNormal(t *testing.T) {
+	xs := normalSample(21, 2000, 380, 6)
+	rep := CheckNormality(xs)
+	if !rep.ApproxNormal() {
+		t.Errorf("normal sample rejected: %+v", rep)
+	}
+	if rep.JarqueBeraP < 0.001 {
+		t.Errorf("JB p-value = %v for truly normal data", rep.JarqueBeraP)
+	}
+	if rep.AndersonDarlingP < 0.001 {
+		t.Errorf("AD p-value = %v for truly normal data", rep.AndersonDarlingP)
+	}
+	if rep.N != 2000 {
+		t.Errorf("N = %d", rep.N)
+	}
+}
+
+func TestCheckNormalityRejectsExponential(t *testing.T) {
+	r := rng.New(22)
+	xs := make([]float64, 2000)
+	for i := range xs {
+		xs[i] = r.ExpFloat64()
+	}
+	rep := CheckNormality(xs)
+	if rep.ApproxNormal() {
+		t.Errorf("exponential sample accepted as normal: %+v", rep)
+	}
+	if rep.JarqueBeraP > 1e-6 {
+		t.Errorf("JB p-value = %v for exponential data", rep.JarqueBeraP)
+	}
+	if rep.AndersonDarlingP > 0.01 {
+		t.Errorf("AD p-value = %v for exponential data", rep.AndersonDarlingP)
+	}
+	if rep.Skewness < 1 {
+		t.Errorf("exponential skewness = %v, want ~2", rep.Skewness)
+	}
+}
+
+func TestCheckNormalityToleratesFewOutliers(t *testing.T) {
+	// The paper's Figure 2 data is "roughly unimodal with few outliers"
+	// and is still treated as near-normal; the pragmatic gate should
+	// agree.
+	xs := normalSample(23, 500, 210, 5)
+	xs[0] = 210 + 5*5 // a 5σ node
+	xs[1] = 210 - 5*4.5
+	rep := CheckNormality(xs)
+	if !rep.ApproxNormal() {
+		t.Errorf("near-normal data with 2 outliers rejected: %+v", rep)
+	}
+}
+
+func TestJarqueBeraStatisticFormula(t *testing.T) {
+	xs := normalSample(24, 300, 0, 1)
+	rep := CheckNormality(xs)
+	var acc Accumulator
+	acc.AddSlice(xs)
+	want := 300.0 / 6 * (math.Pow(acc.Skewness(), 2) + math.Pow(acc.ExcessKurtosis(), 2)/4)
+	if !almostEq(rep.JarqueBera, want, 1e-9) {
+		t.Errorf("JB = %v, want %v", rep.JarqueBera, want)
+	}
+	if !almostEq(rep.JarqueBeraP, math.Exp(-rep.JarqueBera/2), 1e-12) {
+		t.Errorf("JB p-value inconsistent")
+	}
+}
+
+func TestCheckNormalityPanicsSmallN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for n < 8")
+		}
+	}()
+	CheckNormality([]float64{1, 2, 3})
+}
+
+func TestAndersonDarlingScaleInvariance(t *testing.T) {
+	xs := normalSample(25, 400, 0, 1)
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 1000 + 50*x
+	}
+	a := CheckNormality(xs)
+	b := CheckNormality(ys)
+	if !almostEq(a.AndersonDarling, b.AndersonDarling, 1e-8) {
+		t.Errorf("AD not affine-invariant: %v vs %v", a.AndersonDarling, b.AndersonDarling)
+	}
+}

@@ -1,0 +1,35 @@
+package stats
+
+import "math"
+
+// LinearFit fits y = intercept + slope*x by ordinary least squares and
+// returns the coefficients along with r², the fraction of variance
+// explained. It panics if the slices differ in length, have fewer than
+// two points, or x is constant.
+func LinearFit(x, y []float64) (slope, intercept, r2 float64) {
+	if len(x) != len(y) {
+		panic("stats: LinearFit length mismatch")
+	}
+	if len(x) < 2 {
+		panic("stats: LinearFit needs at least 2 points")
+	}
+	mx, my := Mean(x), Mean(y)
+	var sxx, sxy, syy float64
+	for i := range x {
+		dx := x[i] - mx
+		dy := y[i] - my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		panic("stats: LinearFit with constant x")
+	}
+	slope = sxy / sxx
+	intercept = my - slope*mx
+	if syy == 0 {
+		return slope, intercept, 1
+	}
+	r := sxy / math.Sqrt(sxx*syy)
+	return slope, intercept, r * r
+}

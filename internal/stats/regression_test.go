@@ -1,0 +1,76 @@
+package stats
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLinearFitExact(t *testing.T) {
+	x := []float64{0, 1, 2, 3, 4}
+	y := []float64{1, 3, 5, 7, 9} // y = 1 + 2x
+	slope, intercept, r2 := LinearFit(x, y)
+	if !almostEq(slope, 2, 1e-12) || !almostEq(intercept, 1, 1e-12) || !almostEq(r2, 1, 1e-12) {
+		t.Errorf("fit = (%v, %v, %v)", slope, intercept, r2)
+	}
+}
+
+func TestLinearFitNoise(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5, 6}
+	y := []float64{2.1, 3.9, 6.2, 7.8, 10.1, 11.9} // ~2x
+	slope, _, r2 := LinearFit(x, y)
+	if slope < 1.9 || slope > 2.1 {
+		t.Errorf("slope = %v", slope)
+	}
+	if r2 < 0.99 {
+		t.Errorf("r2 = %v", r2)
+	}
+}
+
+func TestLinearFitConstantY(t *testing.T) {
+	slope, intercept, r2 := LinearFit([]float64{1, 2, 3}, []float64{5, 5, 5})
+	if slope != 0 || intercept != 5 || r2 != 1 {
+		t.Errorf("constant-y fit = (%v, %v, %v)", slope, intercept, r2)
+	}
+}
+
+func TestLinearFitPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"mismatch":   func() { LinearFit([]float64{1}, []float64{1, 2}) },
+		"short":      func() { LinearFit([]float64{1}, []float64{1}) },
+		"constant x": func() { LinearFit([]float64{2, 2}, []float64{1, 3}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: fitting y = a + b*x recovers (a, b) exactly.
+func TestQuickLinearFitRecovers(t *testing.T) {
+	f := func(aRaw, bRaw int16) bool {
+		a := float64(aRaw) / 100
+		b := float64(bRaw) / 100
+		x := []float64{-2, 0, 1, 5, 9}
+		y := make([]float64, len(x))
+		for i := range x {
+			y[i] = a + b*x[i]
+		}
+		slope, intercept, _ := LinearFit(x, y)
+		return almostEq(slope, b, 1e-9+1e-9*absf(b)) && almostEq(intercept, a, 1e-9+1e-9*absf(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,170 @@
+package stats
+
+import "math"
+
+// Accumulator computes running moments of a data stream in a single pass
+// using the numerically stable Welford/Pébay update formulas. It tracks
+// central moments up to order four, so mean, variance, skewness and
+// kurtosis are all available without storing the data.
+//
+// The zero value is an empty accumulator ready for use. Accumulators can
+// be combined with Merge, enabling parallel reduction.
+type Accumulator struct {
+	n              int64
+	mean           float64
+	m2, m3, m4     float64
+	minSeen        float64
+	maxSeen        float64
+	hasExtremes    bool
+	compensatedSum float64
+}
+
+// Add incorporates one observation.
+func (a *Accumulator) Add(x float64) {
+	n1 := float64(a.n)
+	a.n++
+	n := float64(a.n)
+	delta := x - a.mean
+	deltaN := delta / n
+	deltaN2 := deltaN * deltaN
+	term1 := delta * deltaN * n1
+	a.mean += deltaN
+	a.m4 += term1*deltaN2*(n*n-3*n+3) + 6*deltaN2*a.m2 - 4*deltaN*a.m3
+	a.m3 += term1*deltaN*(n-2) - 3*deltaN*a.m2
+	a.m2 += term1
+	a.compensatedSum += x
+	if !a.hasExtremes {
+		a.minSeen, a.maxSeen = x, x
+		a.hasExtremes = true
+	} else {
+		if x < a.minSeen {
+			a.minSeen = x
+		}
+		if x > a.maxSeen {
+			a.maxSeen = x
+		}
+	}
+}
+
+// AddSlice incorporates every element of xs.
+func (a *Accumulator) AddSlice(xs []float64) {
+	for _, x := range xs {
+		a.Add(x)
+	}
+}
+
+// Merge combines another accumulator into this one, as if all of b's
+// observations had been added to a. b is unmodified.
+func (a *Accumulator) Merge(b *Accumulator) {
+	if b.n == 0 {
+		return
+	}
+	if a.n == 0 {
+		*a = *b
+		return
+	}
+	na, nb := float64(a.n), float64(b.n)
+	n := na + nb
+	delta := b.mean - a.mean
+	delta2 := delta * delta
+	delta3 := delta2 * delta
+	delta4 := delta2 * delta2
+	mean := a.mean + delta*nb/n
+	m2 := a.m2 + b.m2 + delta2*na*nb/n
+	m3 := a.m3 + b.m3 + delta3*na*nb*(na-nb)/(n*n) +
+		3*delta*(na*b.m2-nb*a.m2)/n
+	m4 := a.m4 + b.m4 + delta4*na*nb*(na*na-na*nb+nb*nb)/(n*n*n) +
+		6*delta2*(na*na*b.m2+nb*nb*a.m2)/(n*n) +
+		4*delta*(na*b.m3-nb*a.m3)/n
+	a.n += b.n
+	a.mean, a.m2, a.m3, a.m4 = mean, m2, m3, m4
+	a.compensatedSum += b.compensatedSum
+	if b.minSeen < a.minSeen {
+		a.minSeen = b.minSeen
+	}
+	if b.maxSeen > a.maxSeen {
+		a.maxSeen = b.maxSeen
+	}
+}
+
+// N returns the number of observations seen.
+func (a *Accumulator) N() int { return int(a.n) }
+
+// Sum returns the running sum of observations.
+func (a *Accumulator) Sum() float64 { return a.compensatedSum }
+
+// Mean returns the running mean. It panics if no data has been added.
+func (a *Accumulator) Mean() float64 {
+	if a.n == 0 {
+		panic(ErrEmpty)
+	}
+	return a.mean
+}
+
+// Variance returns the unbiased sample variance (divisor n-1).
+// It panics if fewer than two observations have been added.
+func (a *Accumulator) Variance() float64 {
+	if a.n < 2 {
+		panic("stats: Accumulator.Variance needs at least 2 observations")
+	}
+	return a.m2 / float64(a.n-1)
+}
+
+// PopulationVariance returns the population variance (divisor n).
+func (a *Accumulator) PopulationVariance() float64 {
+	if a.n == 0 {
+		panic(ErrEmpty)
+	}
+	return a.m2 / float64(a.n)
+}
+
+// StdDev returns the sample standard deviation (divisor n-1).
+func (a *Accumulator) StdDev() float64 { return math.Sqrt(a.Variance()) }
+
+// Skewness returns the bias-adjusted sample skewness.
+// It panics if fewer than three observations have been added or the data
+// has zero variance.
+func (a *Accumulator) Skewness() float64 {
+	if a.n < 3 {
+		panic("stats: Accumulator.Skewness needs at least 3 observations")
+	}
+	n := float64(a.n)
+	if a.m2 == 0 {
+		panic("stats: skewness undefined for zero variance")
+	}
+	g1 := math.Sqrt(n) * a.m3 / math.Pow(a.m2, 1.5)
+	return g1 * math.Sqrt(n*(n-1)) / (n - 2)
+}
+
+// ExcessKurtosis returns the unbiased sample excess kurtosis.
+// It panics if fewer than four observations have been added or the data
+// has zero variance.
+func (a *Accumulator) ExcessKurtosis() float64 {
+	if a.n < 4 {
+		panic("stats: Accumulator.ExcessKurtosis needs at least 4 observations")
+	}
+	if a.m2 == 0 {
+		panic("stats: kurtosis undefined for zero variance")
+	}
+	n := float64(a.n)
+	g2 := n*a.m4/(a.m2*a.m2) - 3
+	return ((n - 1) / ((n - 2) * (n - 3))) * ((n+1)*g2 + 6)
+}
+
+// Min returns the smallest observation seen. It panics if no data has been
+// added.
+func (a *Accumulator) Min() float64 {
+	if a.n == 0 {
+		panic(ErrEmpty)
+	}
+	return a.minSeen
+}
+
+// Max returns the largest observation seen. It panics if no data has been
+// added.
+func (a *Accumulator) Max() float64 {
+	if a.n == 0 {
+		panic(ErrEmpty)
+	}
+	return a.maxSeen
+}

@@ -1,0 +1,171 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"nodevar/internal/rng"
+)
+
+func TestAccumulatorMatchesNaive(t *testing.T) {
+	r := rng.New(2)
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = r.Normal(50, 7)
+	}
+	var acc Accumulator
+	acc.AddSlice(xs)
+	if !almostEq(acc.Mean(), Mean(xs), 1e-9) {
+		t.Errorf("mean: acc %v vs naive %v", acc.Mean(), Mean(xs))
+	}
+	if !almostEq(acc.Variance(), Variance(xs), 1e-7) {
+		t.Errorf("variance: acc %v vs naive %v", acc.Variance(), Variance(xs))
+	}
+	if acc.N() != len(xs) {
+		t.Errorf("N = %d", acc.N())
+	}
+	if acc.Min() != Min(xs) || acc.Max() != Max(xs) {
+		t.Errorf("extremes: (%v,%v) vs (%v,%v)", acc.Min(), acc.Max(), Min(xs), Max(xs))
+	}
+	if !almostEq(acc.Sum(), Sum(xs), 1e-6) {
+		t.Errorf("sum: acc %v vs naive %v", acc.Sum(), Sum(xs))
+	}
+}
+
+func TestAccumulatorShapeStats(t *testing.T) {
+	// Closed-form check of the adjusted skewness estimator for
+	// x = {2,4,4,4,5,5,7,9}: mean 5, population m2 = 4, m3 = 42/8 = 5.25,
+	// so g1 = 5.25/4^1.5 = 0.65625 and
+	// G1 = g1*sqrt(n(n-1))/(n-2) = 0.65625*sqrt(56)/6 = 0.8184875534.
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	var acc Accumulator
+	acc.AddSlice(xs)
+	if got := acc.Skewness(); !almostEq(got, 0.8184875534, 1e-9) {
+		t.Errorf("Skewness = %v, want 0.8184875534", got)
+	}
+	// Closed-form check of the unbiased excess kurtosis estimator:
+	// m2 = 4, m4 = sum((x-5)^4)/n = (81+1+1+1+0+0+16+256)/8 = 44.5
+	// g2 = m4/m2^2 - 3 = 44.5/16 - 3 = -0.21875
+	// G2 = ((n-1)/((n-2)(n-3))) ((n+1) g2 + 6) with n=8:
+	//    = (7/30)(9*(-0.21875)+6) = (7/30)(4.03125) = 0.9406250
+	if got := acc.ExcessKurtosis(); !almostEq(got, 0.940625, 1e-9) {
+		t.Errorf("ExcessKurtosis = %v, want 0.940625", got)
+	}
+}
+
+func TestAccumulatorMergeEquivalence(t *testing.T) {
+	r := rng.New(3)
+	xs := make([]float64, 999)
+	for i := range xs {
+		xs[i] = r.Normal(0, 1) + 0.3*r.ExpFloat64()
+	}
+	var whole Accumulator
+	whole.AddSlice(xs)
+
+	var a, b, c Accumulator
+	a.AddSlice(xs[:100])
+	b.AddSlice(xs[100:500])
+	c.AddSlice(xs[500:])
+	a.Merge(&b)
+	a.Merge(&c)
+
+	if a.N() != whole.N() {
+		t.Fatalf("merged N = %d, want %d", a.N(), whole.N())
+	}
+	if !almostEq(a.Mean(), whole.Mean(), 1e-10) {
+		t.Errorf("merged mean %v vs %v", a.Mean(), whole.Mean())
+	}
+	if !almostEq(a.Variance(), whole.Variance(), 1e-8) {
+		t.Errorf("merged variance %v vs %v", a.Variance(), whole.Variance())
+	}
+	if !almostEq(a.Skewness(), whole.Skewness(), 1e-6) {
+		t.Errorf("merged skewness %v vs %v", a.Skewness(), whole.Skewness())
+	}
+	if !almostEq(a.ExcessKurtosis(), whole.ExcessKurtosis(), 1e-5) {
+		t.Errorf("merged kurtosis %v vs %v", a.ExcessKurtosis(), whole.ExcessKurtosis())
+	}
+}
+
+func TestAccumulatorMergeEmpty(t *testing.T) {
+	var a, b Accumulator
+	a.Add(1)
+	a.Add(3)
+	a.Merge(&b) // merging empty must be a no-op
+	if a.N() != 2 || a.Mean() != 2 {
+		t.Errorf("merge with empty changed state: n=%d mean=%v", a.N(), a.Mean())
+	}
+	var c Accumulator
+	c.Merge(&a) // merging into empty must copy
+	if c.N() != 2 || c.Mean() != 2 {
+		t.Errorf("merge into empty: n=%d mean=%v", c.N(), c.Mean())
+	}
+}
+
+func TestAccumulatorPanicsWithoutData(t *testing.T) {
+	var a Accumulator
+	for name, f := range map[string]func(){
+		"Mean":     func() { a.Mean() },
+		"Variance": func() { a.Variance() },
+		"Min":      func() { a.Min() },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s on empty accumulator did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: merging a split of any sample equals accumulating the whole.
+func TestQuickMergeConsistent(t *testing.T) {
+	f := func(seed uint64, cut uint8) bool {
+		r := rng.New(seed)
+		n := 20 + int(cut%50)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.Normal(10, 3)
+		}
+		k := 1 + int(cut)%(n-1)
+		var whole, left, right Accumulator
+		whole.AddSlice(xs)
+		left.AddSlice(xs[:k])
+		right.AddSlice(xs[k:])
+		left.Merge(&right)
+		return almostEq(left.Mean(), whole.Mean(), 1e-9) &&
+			almostEq(left.Variance(), whole.Variance(), 1e-7)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAccumulatorNumericalStability(t *testing.T) {
+	// Large offset: naive two-pass with float32-style cancellation would
+	// fail; Welford must stay accurate.
+	var acc Accumulator
+	const offset = 1e9
+	vals := []float64{offset + 4, offset + 7, offset + 13, offset + 16}
+	for _, v := range vals {
+		acc.Add(v)
+	}
+	if !almostEq(acc.Mean(), offset+10, 1e-5) {
+		t.Errorf("mean = %v", acc.Mean()-offset)
+	}
+	if !almostEq(acc.Variance(), 30, 1e-4) {
+		t.Errorf("variance = %v, want 30", acc.Variance())
+	}
+	if math.IsNaN(acc.StdDev()) {
+		t.Error("NaN stddev")
+	}
+}
+
+func BenchmarkAccumulatorAdd(b *testing.B) {
+	var acc Accumulator
+	for i := 0; i < b.N; i++ {
+		acc.Add(float64(i % 1000))
+	}
+}

@@ -1,0 +1,177 @@
+package systems
+
+import (
+	"math"
+	"testing"
+)
+
+func mustStudy(t *testing.T, cfg VIDStudyConfig) *VIDStudy {
+	t.Helper()
+	s, err := RunVIDStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestVIDStudyDefaults(t *testing.T) {
+	s := mustStudy(t, VIDStudyConfig{Seed: 1})
+	if len(s.Nodes) != 56 {
+		t.Errorf("default node count %d", len(s.Nodes))
+	}
+	if s.FanDeltaWatts <= 100 {
+		t.Errorf("fan effect %v W, paper says >100 W", s.FanDeltaWatts)
+	}
+}
+
+func TestVIDStudyRejectsTiny(t *testing.T) {
+	if _, err := RunVIDStudy(VIDStudyConfig{Nodes: 2}); err == nil {
+		t.Error("2-node study accepted")
+	}
+}
+
+func TestVIDsAreQuantizedAndInRange(t *testing.T) {
+	s := mustStudy(t, VIDStudyConfig{Seed: 2, Nodes: 200})
+	for _, n := range s.Nodes {
+		found := false
+		for _, lv := range vidLevels {
+			if n.VID == lv {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("VID %v not a defined level", n.VID)
+		}
+	}
+}
+
+func TestTunedConfigurationAnchors(t *testing.T) {
+	s := mustStudy(t, VIDStudyConfig{Seed: 3, Nodes: 500})
+	// Paper: σ of tuned efficiency is 1.2%.
+	if cv := s.TunedCV(); cv < 0.008 || cv > 0.016 {
+		t.Errorf("tuned CV = %.4f, paper says ~1.2%%", cv)
+	}
+	// Tuned efficiency near the Green500 submission value (5.27 GFLOPS/W).
+	if mean := s.MeanTuned(); mean < 4.8 || mean > 5.8 {
+		t.Errorf("tuned mean efficiency = %.2f GFLOPS/W", mean)
+	}
+	// "the efficiency in the most efficient configuration ... is
+	// unrelated to the VID".
+	if r2 := s.TunedVIDCorrelation(); r2 > 0.05 {
+		t.Errorf("tuned efficiency correlates with VID: r² = %v", r2)
+	}
+}
+
+func TestDefaultConfigurationTrend(t *testing.T) {
+	s := mustStudy(t, VIDStudyConfig{Seed: 4, Nodes: 500})
+	// Higher VID → more voltage → less efficient: clear negative slope.
+	if slope := s.DefaultSlope(); slope >= -1 {
+		t.Errorf("default slope = %v GFLOPS/W per volt, want clearly negative", slope)
+	}
+	// Tuned configuration is more efficient than default.
+	if s.MeanTuned() <= s.MeanDefault() {
+		t.Errorf("tuned %.2f not above default %.2f", s.MeanTuned(), s.MeanDefault())
+	}
+	// The paper's DVFS tuning on L-CSC bought ~22%.
+	gain := s.MeanTuned()/s.MeanDefault() - 1
+	if gain < 0.1 || gain > 0.35 {
+		t.Errorf("tuning gain = %.3f, paper reports ~22%%", gain)
+	}
+}
+
+func TestFanCorrectionParallelSlope(t *testing.T) {
+	s := mustStudy(t, VIDStudyConfig{Seed: 5, Nodes: 500})
+	ds, cs := s.DefaultSlope(), s.CorrectedSlope()
+	// "Since the offset due to fan speed is constant, both curves have
+	// the same slope". Corrected slope is the same sign and within ~35%
+	// (the 1/(P-ΔP) transform stretches it slightly).
+	if cs >= 0 {
+		t.Errorf("corrected slope = %v, want negative", cs)
+	}
+	if ratio := cs / ds; ratio < 0.8 || ratio > 1.5 {
+		t.Errorf("corrected/default slope ratio = %v", ratio)
+	}
+	// Correction raises efficiency for every node.
+	for i, n := range s.Nodes {
+		if n.EffCorrected <= n.EffDefault {
+			t.Fatalf("node %d: corrected %.3f not above default %.3f", i, n.EffCorrected, n.EffDefault)
+		}
+	}
+}
+
+func TestFanEffectDominatesSiliconVariability(t *testing.T) {
+	// "The power variability due to the different fan speeds is many
+	// times more significant than the variability of the GPUs
+	// themselves": the fan delta (>100 W) dwarfs the per-node silicon
+	// power spread (~1% of ~900 W ≈ 9 W).
+	s := mustStudy(t, VIDStudyConfig{Seed: 6, Nodes: 300})
+	siliconSpread := s.TunedCV() * 900
+	if s.FanDeltaWatts < 5*siliconSpread {
+		t.Errorf("fan delta %v W not dominant over silicon spread %v W",
+			s.FanDeltaWatts, siliconSpread)
+	}
+}
+
+func TestScreenLowVID(t *testing.T) {
+	s := mustStudy(t, VIDStudyConfig{Seed: 7, Nodes: 100})
+	idx := s.ScreenLowVID(10)
+	if len(idx) != 10 {
+		t.Fatalf("screen returned %d", len(idx))
+	}
+	// Every screened node's VID is <= every unscreened node's VID.
+	maxScreened := 0.0
+	picked := map[int]bool{}
+	for _, i := range idx {
+		picked[i] = true
+		if s.Nodes[i].VID > maxScreened {
+			maxScreened = s.Nodes[i].VID
+		}
+	}
+	for i, n := range s.Nodes {
+		if !picked[i] && n.VID < maxScreened {
+			t.Fatalf("unscreened node %d has lower VID %v than screened max %v", i, n.VID, maxScreened)
+		}
+	}
+	// Clamping.
+	if got := len(s.ScreenLowVID(1000)); got != 100 {
+		t.Errorf("oversized screen = %d", got)
+	}
+	if got := len(s.ScreenLowVID(-5)); got != 0 {
+		t.Errorf("negative screen = %d", got)
+	}
+}
+
+func TestScreeningBiasPositive(t *testing.T) {
+	// "by measuring only nodes with low VID, it is possible to obtain a
+	// favorably biased efficiency result."
+	s := mustStudy(t, VIDStudyConfig{Seed: 8, Nodes: 400})
+	bias := s.ScreeningBias(40)
+	if bias <= 0 {
+		t.Errorf("screening bias = %v, want positive", bias)
+	}
+	if bias > 0.05 {
+		t.Errorf("screening bias = %v implausibly large", bias)
+	}
+}
+
+func TestVIDStudyDeterministic(t *testing.T) {
+	a := mustStudy(t, VIDStudyConfig{Seed: 9})
+	b := mustStudy(t, VIDStudyConfig{Seed: 9})
+	for i := range a.Nodes {
+		if a.Nodes[i] != b.Nodes[i] {
+			t.Fatal("study not deterministic")
+		}
+	}
+}
+
+func TestVIDStudyPhysicalRanges(t *testing.T) {
+	s := mustStudy(t, VIDStudyConfig{Seed: 10, Nodes: 200})
+	for i, n := range s.Nodes {
+		if n.EffTuned < 4 || n.EffTuned > 7 ||
+			n.EffDefault < 3.5 || n.EffDefault > 6 ||
+			math.IsNaN(n.EffCorrected) {
+			t.Fatalf("node %d out of physical range: %+v", i, n)
+		}
+	}
+}

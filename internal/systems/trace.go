@@ -1,0 +1,167 @@
+package systems
+
+import (
+	"fmt"
+	"math"
+
+	"nodevar/internal/fit"
+	"nodevar/internal/hpl"
+	"nodevar/internal/power"
+)
+
+// Calibration describes how a system's trace generator was fitted to the
+// published Table 2 segment averages.
+type Calibration struct {
+	// IdleKW and DynamicKW are the fitted baseline and full-utilization
+	// dynamic system power, in kilowatts.
+	IdleKW, DynamicKW float64
+	// Warmup is the fitted relative warm-up depth: the power deficit at
+	// t=0 that decays with time constant WarmupTau.
+	Warmup    float64
+	WarmupTau float64
+	// MaxRelErr is the largest relative error against the three published
+	// segment averages after fitting.
+	MaxRelErr float64
+	// Run is the underlying HPL progression.
+	Run *hpl.Run
+}
+
+// traceGrid holds the normalized utilization curve sampled on a uniform
+// grid, from which both the fit and the final trace are produced.
+type traceGrid struct {
+	times []float64
+	util  []float64
+	warm  []float64 // exp(-t/tau) per grid point
+}
+
+func buildGrid(run *hpl.Run, samples int, tau float64) *traceGrid {
+	g := &traceGrid{
+		times: make([]float64, samples),
+		util:  make([]float64, samples),
+		warm:  make([]float64, samples),
+	}
+	T := run.CoreDuration
+	for k := 0; k < samples; k++ {
+		t := T * float64(k) / float64(samples-1)
+		if k == samples-1 {
+			// Sample utilization just inside the final step: at t = T the
+			// run is over and utilization would read 0.
+			t = T * (1 - 1e-9)
+		}
+		g.times[k] = T * float64(k) / float64(samples-1)
+		g.util[k] = run.UtilizationAt(t)
+		g.warm[k] = math.Exp(-g.times[k] / tau)
+	}
+	return g
+}
+
+// segmentMeans evaluates the parametric power on the grid and returns
+// (core, first20, last20) averages. Power model:
+// P(t) = (A + B·u(t)) · (1 - W·exp(-t/τ)).
+func (g *traceGrid) segmentMeans(a, b, w float64) (core, first, last float64) {
+	n := len(g.times)
+	n20 := n / 5
+	var sumAll, sumFirst, sumLast float64
+	for k := 0; k < n; k++ {
+		p := (a + b*g.util[k]) * (1 - w*g.warm[k])
+		sumAll += p
+		if k < n20 {
+			sumFirst += p
+		}
+		if k >= n-n20 {
+			sumLast += p
+		}
+	}
+	return sumAll / float64(n), sumFirst / float64(n20), sumLast / float64(n20)
+}
+
+// CalibratedTrace generates the system power trace for a Table 2 system:
+// the HPL progression shape with a thermal warm-up term, with baseline,
+// dynamic range and warm-up depth fitted so the core / first-20% /
+// last-20% averages match the published values. samples controls the
+// trace resolution (default 2000 when <= 1).
+func CalibratedTrace(s Spec, samples int) (*power.Trace, *Calibration, error) {
+	if s.Trace == nil {
+		return nil, nil, ErrNoTraceTargets
+	}
+	if samples <= 1 {
+		samples = 2000
+	}
+	tt := s.Trace
+
+	cfg := s.HPL
+	n, err := hpl.MatrixOrderForRuntime(cfg, tt.RuntimeSeconds)
+	if err != nil {
+		return nil, nil, fmt.Errorf("systems: sizing %s: %w", s.Name, err)
+	}
+	cfg.MatrixOrder = n
+	run, err := hpl.Simulate(cfg)
+	if err != nil {
+		return nil, nil, fmt.Errorf("systems: simulating %s: %w", s.Name, err)
+	}
+
+	tau := 0.05 * run.CoreDuration
+	if tau > 1200 {
+		tau = 1200
+	}
+	if tau < 300 {
+		tau = 300
+	}
+	grid := buildGrid(run, samples, tau)
+
+	// Initial guesses from the published numbers and the utilization
+	// shape.
+	uFirst := run.SegmentUtilization(0, 0.2)
+	uLast := run.SegmentUtilization(0.8, 1)
+	uMean := run.MeanUtilization()
+	b0 := tt.CoreKW * 0.6
+	if du := uFirst - uLast; du > 1e-6 {
+		if est := (tt.First20KW - tt.Last20KW) / du; est > 0 {
+			b0 = est
+		}
+	}
+	a0 := tt.CoreKW - b0*uMean
+	if a0 < 0 {
+		a0 = 0
+	}
+	objective := func(x []float64) float64 {
+		a, b, w := x[0], x[1], x[2]
+		if a < 0 || b <= 0 || w < -0.5 || w > 0.5 {
+			return math.Inf(1)
+		}
+		core, first, last := grid.segmentMeans(a, b, w)
+		e1 := (core - tt.CoreKW) / tt.CoreKW
+		e2 := (first - tt.First20KW) / tt.First20KW
+		e3 := (last - tt.Last20KW) / tt.Last20KW
+		return e1*e1 + e2*e2 + e3*e3
+	}
+	res := fit.NelderMead(objective, []float64{a0, b0, 0.01}, fit.NelderMeadOptions{
+		MaxIter: 4000,
+		TolF:    1e-22,
+		TolX:    1e-12,
+	})
+	a, b, w := res.X[0], res.X[1], res.X[2]
+	core, first, last := grid.segmentMeans(a, b, w)
+	maxRel := math.Max(math.Abs(core-tt.CoreKW)/tt.CoreKW,
+		math.Max(math.Abs(first-tt.First20KW)/tt.First20KW,
+			math.Abs(last-tt.Last20KW)/tt.Last20KW))
+
+	samplesOut := make([]power.Sample, samples)
+	for k := range samplesOut {
+		p := (a + b*grid.util[k]) * (1 - w*grid.warm[k])
+		samplesOut[k] = power.Sample{Time: grid.times[k], Power: power.Watts(p * 1000)}
+	}
+	tr, err := power.NewTrace(samplesOut)
+	if err != nil {
+		return nil, nil, err
+	}
+	cal := &Calibration{
+		IdleKW:    a,
+		DynamicKW: b,
+		Warmup:    w,
+		WarmupTau: tau,
+		MaxRelErr: maxRel,
+		Run:       run,
+	}
+	return tr, cal, nil
+}

@@ -1,0 +1,134 @@
+// Package tco projects electricity cost and total cost of ownership from
+// power measurements — the procurement use case the paper's introduction
+// motivates ("the observed variations of 20% in power consumption lead
+// directly to a possible 20% increase in electricity costs").
+//
+// The projections propagate measurement uncertainty: given a confidence
+// interval on power, every cost output is an interval too.
+package tco
+
+import (
+	"errors"
+
+	"nodevar/internal/stats"
+)
+
+// CostModel holds the facility economics.
+type CostModel struct {
+	// EnergyPricePerKWh is the electricity price (currency-agnostic).
+	EnergyPricePerKWh float64
+	// PUE is the facility's power usage effectiveness (total facility
+	// power / IT power); 1.0 means no overhead. Typical 2015 values were
+	// 1.2-1.8.
+	PUE float64
+	// UtilizationFactor is the fraction of time the machine draws the
+	// measured power (1.0 = the measured load runs around the clock).
+	UtilizationFactor float64
+	// Years is the projection horizon.
+	Years float64
+}
+
+// Validate checks the model.
+func (m CostModel) Validate() error {
+	switch {
+	case m.EnergyPricePerKWh <= 0:
+		return errors.New("tco: energy price must be positive")
+	case m.PUE < 1:
+		return errors.New("tco: PUE below 1 is not physical")
+	case m.UtilizationFactor <= 0 || m.UtilizationFactor > 1:
+		return errors.New("tco: utilization factor outside (0, 1]")
+	case m.Years <= 0:
+		return errors.New("tco: projection horizon must be positive")
+	}
+	return nil
+}
+
+const hoursPerYear = 24 * 365.25
+
+// EnergyCost returns the projected electricity cost for a constant IT
+// power draw in watts over the model horizon.
+func (m CostModel) EnergyCost(itWatts float64) (float64, error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	if itWatts < 0 {
+		return 0, errors.New("tco: negative power")
+	}
+	kwh := itWatts / 1000 * m.PUE * m.UtilizationFactor * hoursPerYear * m.Years
+	return kwh * m.EnergyPricePerKWh, nil
+}
+
+// Projection is a cost estimate with uncertainty bounds.
+type Projection struct {
+	// Cost is the point estimate.
+	Cost float64
+	// Lo and Hi bound the cost at the interval's confidence.
+	Lo, Hi float64
+	// Confidence is inherited from the power interval.
+	Confidence float64
+}
+
+// Spread returns (Hi-Lo)/Cost, the relative cost uncertainty.
+func (p Projection) Spread() float64 {
+	if p.Cost == 0 {
+		return 0
+	}
+	return (p.Hi - p.Lo) / p.Cost
+}
+
+// ProjectFromInterval converts a power confidence interval (watts) into a
+// cost projection.
+func (m CostModel) ProjectFromInterval(ci stats.Interval) (Projection, error) {
+	mid, err := m.EnergyCost(ci.Center)
+	if err != nil {
+		return Projection{}, err
+	}
+	lo, err := m.EnergyCost(ci.Lo())
+	if err != nil {
+		return Projection{}, err
+	}
+	hi, err := m.EnergyCost(ci.Hi())
+	if err != nil {
+		return Projection{}, err
+	}
+	return Projection{Cost: mid, Lo: lo, Hi: hi, Confidence: ci.Confidence}, nil
+}
+
+// ProjectFleet extrapolates per-node power measurements to a fleet of
+// fleetNodes nodes and projects the electricity cost with a t-based
+// confidence interval (finite population correction applied for the
+// fleet).
+func (m CostModel) ProjectFleet(perNodeWatts []float64, fleetNodes int, confidence float64) (Projection, error) {
+	if fleetNodes <= 0 {
+		return Projection{}, errors.New("tco: fleet size must be positive")
+	}
+	if len(perNodeWatts) < 2 {
+		return Projection{}, errors.New("tco: need at least 2 measured nodes")
+	}
+	ci := stats.MeanCI(perNodeWatts, stats.CIOptions{
+		Confidence:     confidence,
+		PopulationSize: fleetNodes,
+	})
+	fleetCI := stats.Interval{
+		Center:     ci.Center * float64(fleetNodes),
+		HalfWidth:  ci.HalfWidth * float64(fleetNodes),
+		Confidence: ci.Confidence,
+	}
+	return m.ProjectFromInterval(fleetCI)
+}
+
+// MispricingFromBias returns the absolute cost error caused by a biased
+// power measurement: the cost difference between the reported and true
+// power. A 20% power understatement on a megawatt machine is real money —
+// the paper's TCO argument.
+func (m CostModel) MispricingFromBias(trueWatts, reportedWatts float64) (float64, error) {
+	trueCost, err := m.EnergyCost(trueWatts)
+	if err != nil {
+		return 0, err
+	}
+	reportedCost, err := m.EnergyCost(reportedWatts)
+	if err != nil {
+		return 0, err
+	}
+	return reportedCost - trueCost, nil
+}

@@ -1,0 +1,124 @@
+package tco
+
+import (
+	"math"
+	"testing"
+
+	"nodevar/internal/rng"
+	"nodevar/internal/stats"
+)
+
+func model() CostModel {
+	return CostModel{
+		EnergyPricePerKWh: 0.25,
+		PUE:               1.4,
+		UtilizationFactor: 1,
+		Years:             1,
+	}
+}
+
+func TestCostModelValidate(t *testing.T) {
+	bad := []CostModel{
+		{},
+		{EnergyPricePerKWh: 0.25, PUE: 0.8, UtilizationFactor: 1, Years: 1},
+		{EnergyPricePerKWh: 0.25, PUE: 1.2, UtilizationFactor: 0, Years: 1},
+		{EnergyPricePerKWh: 0.25, PUE: 1.2, UtilizationFactor: 1.5, Years: 1},
+		{EnergyPricePerKWh: 0.25, PUE: 1.2, UtilizationFactor: 1, Years: 0},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("bad model %d accepted", i)
+		}
+	}
+	if err := model().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnergyCostHandCheck(t *testing.T) {
+	// 1 kW IT load, PUE 1.4, 0.25/kWh, 1 year:
+	// 1 * 1.4 * 8766 h * 0.25 = 3068.1.
+	got, err := model().EnergyCost(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-3068.1) > 0.1 {
+		t.Errorf("cost = %v, want ~3068.1", got)
+	}
+	if _, err := model().EnergyCost(-1); err == nil {
+		t.Error("negative power accepted")
+	}
+}
+
+func TestProjectFromInterval(t *testing.T) {
+	ci := stats.Interval{Center: 1e6, HalfWidth: 2e5, Confidence: 0.95} // 1 MW ± 20%
+	p, err := model().ProjectFromInterval(ci)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(p.Lo < p.Cost && p.Cost < p.Hi) {
+		t.Errorf("projection ordering: %+v", p)
+	}
+	// The paper's argument: ±20% power ⇒ ±20% cost (spread 40%).
+	if math.Abs(p.Spread()-0.4) > 1e-9 {
+		t.Errorf("cost spread = %v, want 0.4", p.Spread())
+	}
+	if p.Confidence != 0.95 {
+		t.Errorf("confidence = %v", p.Confidence)
+	}
+}
+
+func TestProjectFleet(t *testing.T) {
+	r := rng.New(5)
+	perNode := make([]float64, 16)
+	for i := range perNode {
+		perNode[i] = r.Normal(400, 8)
+	}
+	p, err := model().ProjectFleet(perNode, 4000, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4000 nodes × ~400 W = 1.6 MW → ~4.9M/yr at this model.
+	if p.Cost < 3e6 || p.Cost > 7e6 {
+		t.Errorf("fleet cost = %v", p.Cost)
+	}
+	if p.Spread() <= 0 || p.Spread() > 0.1 {
+		t.Errorf("fleet cost spread = %v", p.Spread())
+	}
+	if _, err := model().ProjectFleet(perNode, 0, 0.95); err == nil {
+		t.Error("zero fleet accepted")
+	}
+	if _, err := model().ProjectFleet(perNode[:1], 100, 0.95); err == nil {
+		t.Error("single measurement accepted")
+	}
+}
+
+func TestMispricingFromBias(t *testing.T) {
+	// A gamed Level-1 result understating 1 MW by 20% hides real cost.
+	m := model()
+	delta, err := m.MispricingFromBias(1e6, 0.8e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trueCost, _ := m.EnergyCost(1e6)
+	if math.Abs(delta+0.2*trueCost) > 1 {
+		t.Errorf("mispricing = %v, want %v", delta, -0.2*trueCost)
+	}
+}
+
+func TestCostScalesLinearlyInEverything(t *testing.T) {
+	m := model()
+	base, _ := m.EnergyCost(500)
+	m2 := m
+	m2.Years = 5
+	fiveYear, _ := m2.EnergyCost(500)
+	if math.Abs(fiveYear-5*base) > 1e-9 {
+		t.Errorf("5-year cost %v != 5x %v", fiveYear, base)
+	}
+	m3 := m
+	m3.UtilizationFactor = 0.5
+	half, _ := m3.EnergyCost(500)
+	if math.Abs(half-base/2) > 1e-9 {
+		t.Errorf("half-utilization cost %v != half of %v", half, base)
+	}
+}

@@ -1,0 +1,135 @@
+package nodevar
+
+import (
+	"math"
+	"testing"
+
+	"nodevar/internal/stats"
+)
+
+func TestSimulateMachineDefaults(t *testing.T) {
+	m, err := SimulateMachine(MachineConfig{Nodes: 64, RuntimeSeconds: 600, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.NodeAverages) != 64 {
+		t.Fatalf("node averages = %d", len(m.NodeAverages))
+	}
+	truth, err := m.TruePower()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ~64 nodes at 150+250 W plus fans, through the PSU: hundreds of W
+	// each, tens of kW total.
+	if truth < 10000 || truth > 50000 {
+		t.Errorf("true power = %v", truth)
+	}
+	if m.RmaxGFlops <= 0 {
+		t.Error("no performance")
+	}
+	cv := stats.CoefficientOfVariation(m.NodeAverages)
+	if cv < 0.005 || cv > 0.05 {
+		t.Errorf("node CV = %v", cv)
+	}
+}
+
+func TestSimulateMachineValidation(t *testing.T) {
+	bad := []MachineConfig{
+		{},
+		{Nodes: 10, NodeDynamicWatts: -1},
+		{Nodes: 10, NodeCV: -1},
+		{Nodes: 10, RuntimeSeconds: -5},
+		{Nodes: 10, SamplePeriod: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := SimulateMachine(cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestMachineMeasurementEndToEnd(t *testing.T) {
+	m, err := SimulateMachine(MachineConfig{
+		Nodes:          96,
+		GPUStyle:       true,
+		RuntimeSeconds: 1800,
+		Seed:           2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, err := m.TruePower()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Level 3 is exact; Level 1 with a gamed window is badly low on a
+	// GPU-style machine; the revised rule fixes it.
+	l3, err := Measure(m.Target, mustSpec(t, Level3), MeasureOptions{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(float64(l3.SystemPower)-float64(truth)) / float64(truth); rel > 1e-6 {
+		t.Errorf("Level 3 error = %v", rel)
+	}
+	l1, err := Measure(m.Target, mustSpec(t, Level1), MeasureOptions{Placement: PlaceBest, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(l1.SystemPower) > float64(truth)*0.95 {
+		t.Errorf("gamed Level 1 = %v vs truth %v: expected a large understatement",
+			l1.SystemPower, truth)
+	}
+	rev, err := Measure(m.Target, RevisedLevel1(), MeasureOptions{Placement: PlaceBest, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(float64(rev.SystemPower)-float64(truth)) / float64(truth); rel > 0.03 {
+		t.Errorf("revised-rule error = %v", rel)
+	}
+}
+
+func mustSpec(t *testing.T, l Level) MethodologySpec {
+	t.Helper()
+	s, err := LevelSpec(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSimulateMachineDVFSTail(t *testing.T) {
+	base := MachineConfig{Nodes: 48, GPUStyle: true, RuntimeSeconds: 1200, Seed: 9}
+	plain, err := SimulateMachine(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuned := base
+	tuned.DVFSTailFrac = 0.6
+	dvfs, err := SimulateMachine(tuned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pPlain, _ := plain.TruePower()
+	pDVFS, _ := dvfs.TruePower()
+	if pDVFS >= pPlain {
+		t.Errorf("DVFS tail did not reduce average power: %v vs %v", pDVFS, pPlain)
+	}
+	// The valley deepens Level-1 gaming exposure.
+	gPlain, err := AnalyzeGaming("plain", plain.Target.System)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gDVFS, err := AnalyzeGaming("dvfs", dvfs.Target.System)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gDVFS.EfficiencyGain <= gPlain.EfficiencyGain {
+		t.Errorf("DVFS tail did not deepen gaming: %v vs %v",
+			gDVFS.EfficiencyGain, gPlain.EfficiencyGain)
+	}
+	bad := base
+	bad.DVFSTailFrac = 1.5
+	if _, err := SimulateMachine(bad); err == nil {
+		t.Error("invalid DVFSTailFrac accepted")
+	}
+}

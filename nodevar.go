@@ -1,0 +1,378 @@
+// Package nodevar is a Go reproduction of "Node Variability in
+// Large-Scale Power Measurements: Perspectives from the Green500, Top500
+// and EEHPCWG" (Scogland, Rivoire, Azose, Rohr, Bates, Hackenberg et al.,
+// SC '15).
+//
+// The package exposes the paper's two contributions as a library:
+//
+//   - The statistical machinery for extrapolating full-system
+//     supercomputer power from a measured node subset: sample-size
+//     planning with confidence/accuracy targets (Equations 1-5 and
+//     Table 5 of the paper), the finite population correction, pilot
+//     sampling, and bootstrap calibration of confidence intervals.
+//
+//   - An executable model of the EE HPC WG power-measurement methodology
+//     (Levels 1-3) and the paper's revised rules: full-core-phase timing
+//     and the max(16 nodes, 10%) subset requirement, including the
+//     "optimal interval" gaming analysis that motivated them.
+//
+// Because the paper's machines and raw power logs are not publicly
+// available, the repository includes calibrated simulators (HPL
+// progression, node power with manufacturing/thermal/fan variability,
+// instruments) and presets of the studied systems whose observable
+// statistics match the published tables. Every table and figure of the
+// paper can be regenerated; see the Experiment functions and cmd/repro.
+package nodevar
+
+import (
+	"io"
+
+	"nodevar/internal/core"
+	"nodevar/internal/green500"
+	"nodevar/internal/meter"
+	"nodevar/internal/methodology"
+	"nodevar/internal/power"
+	"nodevar/internal/sampling"
+	"nodevar/internal/systems"
+	"nodevar/internal/tco"
+)
+
+// Re-exported domain types. These aliases are the public names of the
+// library's core concepts; the internal packages carry the
+// implementations.
+type (
+	// Watts is instantaneous electric power.
+	Watts = power.Watts
+	// Joules is energy.
+	Joules = power.Joules
+	// Trace is a power-versus-time series.
+	Trace = power.Trace
+	// Sample is one timestamped power reading.
+	Sample = power.Sample
+	// SegmentReport holds core/first-20%/last-20% averages of a run.
+	SegmentReport = power.SegmentReport
+
+	// Plan specifies a sampling accuracy target (Equation 5 inputs).
+	Plan = sampling.Plan
+	// SampleSizeTable is a grid of recommendations (Table 5 shape).
+	SampleSizeTable = sampling.Table
+	// CoverageConfig configures a bootstrap CI-calibration study.
+	CoverageConfig = sampling.CoverageConfig
+	// CoveragePoint is one (n, level) coverage result.
+	CoveragePoint = sampling.CoveragePoint
+
+	// Level is an EE HPC WG methodology level.
+	Level = methodology.Level
+	// MethodologySpec is one level's executable requirements.
+	MethodologySpec = methodology.Spec
+	// Target is a system under measurement.
+	Target = methodology.Target
+	// Measurement is a completed measurement.
+	Measurement = methodology.Measurement
+	// MeasureOptions controls window placement, instruments and seeds.
+	MeasureOptions = methodology.Options
+	// WindowPlacement selects where a Level 1 window is placed.
+	WindowPlacement = methodology.WindowPlacement
+	// GamingReport quantifies optimal-interval exposure.
+	GamingReport = methodology.GamingReport
+
+	// SystemSpec is a calibrated preset of one studied machine.
+	SystemSpec = systems.Spec
+	// VIDStudy is the L-CSC voltage-ID case study (Figure 4).
+	VIDStudy = systems.VIDStudy
+	// VIDStudyConfig configures it.
+	VIDStudyConfig = systems.VIDStudyConfig
+
+	// Submission is a Green500/Top500 entry.
+	Submission = green500.Submission
+	// List is a ranked list.
+	List = green500.List
+
+	// ExperimentID names a reproducible table or figure.
+	ExperimentID = core.ID
+	// ExperimentOptions configures experiment execution.
+	ExperimentOptions = core.Options
+	// ExperimentResult is a completed experiment.
+	ExperimentResult = core.Result
+)
+
+// Methodology levels.
+const (
+	Level1 = methodology.Level1
+	Level2 = methodology.Level2
+	Level3 = methodology.Level3
+)
+
+// Window placements.
+const (
+	PlaceRandom   = methodology.PlaceRandom
+	PlaceEarliest = methodology.PlaceEarliest
+	PlaceLatest   = methodology.PlaceLatest
+	PlaceCenter   = methodology.PlaceCenter
+	PlaceBest     = methodology.PlaceBest
+)
+
+// Experiment identifiers (one per paper artifact).
+const (
+	ExpTable1  = core.Table1
+	ExpTable2  = core.Table2
+	ExpTable3  = core.Table3
+	ExpTable4  = core.Table4
+	ExpTable5  = core.Table5
+	ExpFigure1 = core.Figure1
+	ExpFigure2 = core.Figure2
+	ExpFigure3 = core.Figure3
+	ExpFigure4 = core.Figure4
+	ExpGaming  = core.Gaming
+	ExpRules   = core.Rules
+)
+
+// RequiredSampleSize returns the number of nodes that must be measured to
+// meet the plan's confidence and accuracy targets (Equation 5 with finite
+// population correction).
+func RequiredSampleSize(p Plan) (int, error) {
+	return p.RequiredSampleSize()
+}
+
+// ExpectedAccuracy returns the relative accuracy achieved with n measured
+// nodes under the plan (exact t-quantile version of Equation 1).
+func ExpectedAccuracy(p Plan, n int) (float64, error) {
+	return p.ExpectedAccuracy(n)
+}
+
+// RecommendedNodes applies the paper's adopted rule: measure at least 16
+// nodes or 10% of the system, whichever is larger.
+func RecommendedNodes(totalNodes int) int {
+	return sampling.RevisedRuleNodes(totalNodes)
+}
+
+// OldRuleNodes applies the pre-2015 Level 1 rule of 1/64 of the nodes.
+func OldRuleNodes(totalNodes int) int {
+	return sampling.Level1Nodes(totalNodes)
+}
+
+// PaperTable5 returns the paper's recommendation grid verbatim.
+func PaperTable5() *SampleSizeTable {
+	return sampling.PaperTable5()
+}
+
+// PilotSampleSize sizes a final sample from a pilot of per-node powers
+// (the two-phase procedure of Section 4.2).
+func PilotSampleSize(pilot []float64, confidence, accuracy float64, population int) (int, error) {
+	return sampling.TwoPhase(pilot, confidence, accuracy, population)
+}
+
+// CoverageStudy runs the Figure 3 bootstrap calibration procedure.
+func CoverageStudy(cfg CoverageConfig) ([]CoveragePoint, error) {
+	return sampling.CoverageStudy(cfg)
+}
+
+// LevelSpec returns the original EE HPC WG requirements for a level
+// (Table 1).
+func LevelSpec(l Level) (MethodologySpec, error) {
+	return methodology.LevelSpec(l)
+}
+
+// RevisedLevel1 returns the paper's adopted replacement for Level 1.
+func RevisedLevel1() MethodologySpec {
+	return methodology.RevisedLevel1()
+}
+
+// Measure applies a methodology spec to a target and returns the
+// reported (possibly extrapolated) measurement.
+func Measure(t Target, spec MethodologySpec, opts MeasureOptions) (*Measurement, error) {
+	return methodology.Measure(t, spec, opts)
+}
+
+// AnalyzeGaming quantifies how much an optimal Level-1 window could
+// distort a run's reported power (Section 3).
+func AnalyzeGaming(name string, tr *Trace) (*GamingReport, error) {
+	return methodology.AnalyzeGaming(name, tr)
+}
+
+// Systems returns the calibrated presets of the paper's machines.
+func Systems() []SystemSpec {
+	return systems.All()
+}
+
+// SystemByKey finds a preset ("colosse", "sequoia", "pizdaint", "lcsc",
+// "ceafat", "ceathin", "lrz", "titan", "tudresden", "tsubamekfc").
+func SystemByKey(key string) (SystemSpec, error) {
+	return systems.ByKey(key)
+}
+
+// SystemTrace generates a system's calibrated HPL power trace (Figure 1 /
+// Table 2 systems only). samples <= 1 selects the default resolution.
+func SystemTrace(s SystemSpec, samples int) (*Trace, error) {
+	tr, _, err := systems.CalibratedTrace(s, samples)
+	return tr, err
+}
+
+// NodePowers generates a system's synthetic per-node power dataset,
+// moment-matched to the published Table 4 statistics.
+func NodePowers(s SystemSpec, seed uint64) ([]float64, error) {
+	return systems.NodeDataset(s, seed)
+}
+
+// RunVIDStudy runs the L-CSC VID/fan case study (Figure 4).
+func RunVIDStudy(cfg VIDStudyConfig) (*VIDStudy, error) {
+	return systems.RunVIDStudy(cfg)
+}
+
+// Segments computes a trace's core/first-20%/last-20% averages (Table 2).
+func Segments(tr *Trace) (SegmentReport, error) {
+	return power.Segments(tr)
+}
+
+// NewList ranks submissions Green500-style.
+func NewList(subs []Submission) (*List, error) {
+	return green500.NewList(subs)
+}
+
+// ValidateSubmission checks a submission against a methodology spec and
+// returns all violations.
+func ValidateSubmission(s Submission, spec MethodologySpec) []error {
+	return green500.ValidateAgainst(s, spec)
+}
+
+// Nov2014Top10 returns the illustrative top of the November 2014
+// Green500 list.
+func Nov2014Top10() []Submission {
+	return green500.Nov2014Top10()
+}
+
+// ExperimentIDs lists every reproducible table and figure.
+func ExperimentIDs() []ExperimentID {
+	return core.IDs()
+}
+
+// RunExperiment regenerates one table or figure.
+func RunExperiment(id ExperimentID, opts ExperimentOptions) (ExperimentResult, error) {
+	return core.Run(id, opts)
+}
+
+// RunAllExperiments regenerates everything in order.
+func RunAllExperiments(opts ExperimentOptions) ([]ExperimentResult, error) {
+	return core.RunAll(opts)
+}
+
+// RenderExperiment runs an experiment and writes its human-readable
+// reproduction to w.
+func RenderExperiment(id ExperimentID, opts ExperimentOptions, w io.Writer) error {
+	res, err := core.Run(id, opts)
+	if err != nil {
+		return err
+	}
+	return res.Render(w)
+}
+
+// ExpAblation is the design-choice ablation study (t-vs-z intervals,
+// finite population correction, distribution-shape robustness, fan
+// pinning, workload balance).
+const ExpAblation = core.Ablation
+
+// Assessment re-exports the measurement-accuracy statement.
+type Assessment = methodology.Assessment
+
+// Assess produces the accuracy statement the paper recommends every
+// submission carry, from a measurement and the machine's per-node CV.
+func Assess(m *Measurement, t Target, nodeCV, confidence float64) (Assessment, error) {
+	return methodology.Assess(m, t, nodeCV, confidence)
+}
+
+// RankStabilityResult re-exports the ranking-fragility summary.
+type RankStabilityResult = green500.StabilityResult
+
+// RankStability perturbs each submission's power with multiplicative
+// noise and reports how often the leaderboard changes — the
+// introduction's point that top-list margins are smaller than Level 1's
+// permitted measurement variation.
+func RankStability(subs []Submission, relSD float64, trials int, seed uint64) (*RankStabilityResult, error) {
+	return green500.RankStability(subs, relSD, trials, seed)
+}
+
+// SyntheticList generates a full Green500-scale list with the Nov 2014
+// provenance mix, for list-wide experiments.
+func SyntheticList(entries int, seed uint64) ([]Submission, error) {
+	return green500.SyntheticList(green500.SyntheticListConfig{Entries: entries, Seed: seed})
+}
+
+// RackedMachine re-exports the rack-structured machine model for
+// cluster-sampling studies.
+type RackedMachine = sampling.RackedMachine
+
+// SubsetStrategy selects how a measured node subset is chosen.
+type SubsetStrategy = sampling.SubsetStrategy
+
+// Subset strategies.
+const (
+	SimpleRandom     = sampling.SimpleRandom
+	WholeRacks       = sampling.WholeRacks
+	StratifiedByRack = sampling.StratifiedByRack
+)
+
+// SubsetStudyResult re-exports the cluster-sampling study summary.
+type SubsetStudyResult = sampling.SubsetStudyResult
+
+// NewRackedMachine synthesizes a machine with node- and rack-level power
+// variation, for quantifying rack-correlated (PDU-wise) subset selection.
+func NewRackedMachine(racks, rackSize int, mu, sigmaNode, sigmaRack float64, seed uint64) (*RackedMachine, error) {
+	return sampling.NewRackedMachine(racks, rackSize, mu, sigmaNode, sigmaRack, seed)
+}
+
+// SubsetStudy measures the extrapolation error different subset-selection
+// strategies deliver on a racked machine.
+func SubsetStudy(m *RackedMachine, strategies []SubsetStrategy, n, trials int, seed uint64) ([]SubsetStudyResult, error) {
+	return sampling.SubsetStudy(m, strategies, n, trials, seed)
+}
+
+// FacilityModel re-exports the metering-hierarchy overhead model.
+type FacilityModel = meter.FacilityModel
+
+// MeteringPoint identifies where in the power tree a reading is taken.
+type MeteringPoint = meter.MeteringPoint
+
+// Metering points, from the compute nodes up to the building feed.
+const (
+	PointNode     = meter.PointNode
+	PointPDU      = meter.PointPDU
+	PointMachine  = meter.PointMachine
+	PointFacility = meter.PointFacility
+)
+
+// MeteringHierarchy re-exports the power-distribution tree model.
+type MeteringHierarchy = meter.Hierarchy
+
+// NewMeteringHierarchy wraps a compute trace with facility overheads so
+// the bias of measuring at PDU/machine/facility level can be quantified
+// (the paper's Section 2.2 point that facility feeds cannot isolate a
+// machine).
+func NewMeteringHierarchy(computeTrace *Trace, nodes int, model FacilityModel) (*MeteringHierarchy, error) {
+	return meter.NewHierarchy(computeTrace, nodes, model)
+}
+
+// CostModel re-exports the TCO projection model.
+type CostModel = tco.CostModel
+
+// CostProjection is a cost estimate with uncertainty bounds inherited
+// from the underlying power confidence interval.
+type CostProjection = tco.Projection
+
+// ProjectFleetCost extrapolates per-node power measurements to a fleet
+// and projects the electricity cost with confidence bounds — the TCO use
+// case of the paper's introduction.
+func ProjectFleetCost(m CostModel, perNodeWatts []float64, fleetNodes int, confidence float64) (CostProjection, error) {
+	return m.ProjectFleet(perNodeWatts, fleetNodes, confidence)
+}
+
+// ExpVariance is the uncertainty-budget experiment: the error
+// contribution of window placement, subset choice, and instrument error
+// in isolation and combined.
+const ExpVariance = core.VarianceDecomp
+
+// TenSegmentAverage applies Level 2's literal timing rule — ten equally
+// spaced averaged measurements spanning the full run — and returns their
+// mean plus the individual segment averages.
+func TenSegmentAverage(tr *Trace) (Watts, []Watts, error) {
+	return methodology.TenSegmentAverage(tr)
+}

@@ -1,0 +1,291 @@
+package nodevar
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestFacadeSampleSizeWorkflow(t *testing.T) {
+	// A downstream user's planning session: Titan-scale machine, the
+	// paper's default targets.
+	plan := Plan{Confidence: 0.95, Accuracy: 0.01, CV: 0.02, Population: 18688}
+	n, err := RequiredSampleSize(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 16 {
+		t.Errorf("required n = %d, want 16", n)
+	}
+	acc, err := ExpectedAccuracy(plan, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc > 0.012 {
+		t.Errorf("accuracy at recommendation = %v", acc)
+	}
+	if RecommendedNodes(18688) != 1869 || OldRuleNodes(18688) != 292 {
+		t.Error("rule helpers wrong")
+	}
+}
+
+func TestFacadeTable5(t *testing.T) {
+	if got := PaperTable5().N[1][0]; got != 16 {
+		t.Errorf("Table5[1%%][2%%] = %d", got)
+	}
+}
+
+func TestFacadeSystemWorkflow(t *testing.T) {
+	if len(Systems()) != 10 {
+		t.Errorf("system count = %d", len(Systems()))
+	}
+	s, err := SystemByKey("lcsc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := SystemTrace(s, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Segments(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.Core.Kilowatts()-59.1) > 0.5 {
+		t.Errorf("L-CSC core = %v kW", rep.Core.Kilowatts())
+	}
+	gaming, err := AnalyzeGaming(s.Name, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gaming.EfficiencyGain < 0.15 {
+		t.Errorf("L-CSC gaming gain = %v", gaming.EfficiencyGain)
+	}
+}
+
+func TestFacadeNodePowers(t *testing.T) {
+	s, err := SystemByKey("lrz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs, err := NodePowers(s, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(xs) != 516 {
+		t.Errorf("LRZ dataset size = %d", len(xs))
+	}
+	n, err := PilotSampleSize(xs, 0.95, 0.015, s.TotalNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 5 || n > 25 {
+		t.Errorf("pilot-based n = %d", n)
+	}
+}
+
+func TestFacadeMethodology(t *testing.T) {
+	spec, err := LevelSpec(Level1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.MinNodeFraction != 1.0/64 {
+		t.Error("Level 1 fraction")
+	}
+	if RevisedLevel1().MinNodes != 16 {
+		t.Error("revised rule")
+	}
+}
+
+func TestFacadeCoverage(t *testing.T) {
+	s, _ := SystemByKey("lrz")
+	pilot, err := NodePowers(s, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := CoverageStudy(CoverageConfig{
+		Pilot:       pilot,
+		Population:  s.TotalNodes,
+		SampleSizes: []int{5},
+		Levels:      []float64{0.95},
+		Replicates:  1000,
+		Seed:        3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 1 || math.Abs(pts[0].Coverage-0.95) > 0.04 {
+		t.Errorf("coverage = %+v", pts)
+	}
+}
+
+func TestFacadeGreen500(t *testing.T) {
+	l, err := NewList(Nov2014Top10())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Entries[0].System != "L-CSC" {
+		t.Errorf("#1 = %s", l.Entries[0].System)
+	}
+	errs := ValidateSubmission(l.Entries[0].Submission, RevisedLevel1())
+	if len(errs) == 0 {
+		t.Error("a 20%-window submission should violate the revised rules")
+	}
+}
+
+func TestFacadeVIDStudy(t *testing.T) {
+	study, err := RunVIDStudy(VIDStudyConfig{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(study.Nodes) == 0 || study.FanDeltaWatts <= 100 {
+		t.Errorf("study = %+v", study)
+	}
+}
+
+func TestFacadeExperiments(t *testing.T) {
+	if len(ExperimentIDs()) != 13 {
+		t.Errorf("experiment ids = %v", ExperimentIDs())
+	}
+	var b strings.Builder
+	err := RenderExperiment(ExpTable5, ExperimentOptions{Seed: 1}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "370") {
+		t.Errorf("Table 5 render missing values:\n%s", b.String())
+	}
+	res, err := RunExperiment(ExpTable3, ExperimentOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ID() != ExpTable3 {
+		t.Error("experiment id mismatch")
+	}
+}
+
+func TestFacadeAssess(t *testing.T) {
+	m, err := SimulateMachine(MachineConfig{Nodes: 64, RuntimeSeconds: 600, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, _ := LevelSpec(Level1)
+	meas, err := Measure(m.Target, spec, MeasureOptions{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Assess(meas, m.Target, 0.02, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TimeBiasBounded {
+		t.Error("Level 1 window flagged bias-free")
+	}
+	if a.SubsetAccuracy <= 0 {
+		t.Errorf("assessment = %+v", a)
+	}
+}
+
+func TestFacadeRankStabilityAndSyntheticList(t *testing.T) {
+	subs, err := SyntheticList(60, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RankStability(subs, 0.15, 200, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanDisplacement <= 0 {
+		t.Errorf("stability = %+v", res)
+	}
+}
+
+func TestFacadeAblationExperiment(t *testing.T) {
+	if _, err := RunExperiment(ExpAblation, ExperimentOptions{Replicates: 1200, Seed: 3}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeRackedMachineStudy(t *testing.T) {
+	m, err := NewRackedMachine(20, 16, 400, 5, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := SubsetStudy(m, []SubsetStrategy{SimpleRandom, WholeRacks}, 32, 500, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 || results[1].RMSError <= results[0].RMSError {
+		t.Errorf("rack-correlated subsets should err more: %+v", results)
+	}
+}
+
+func TestFacadeMeteringHierarchy(t *testing.T) {
+	s, _ := SystemByKey("lcsc")
+	tr, err := SystemTrace(s, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewMeteringHierarchy(tr, s.TotalNodes, FacilityModel{
+		RackOverheadPerNode: 20,
+		InterconnectWatts:   3000,
+		OtherLoadsWatts:     30000,
+		CoolingCOP:          4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pdu, err := h.BiasAt(PointPDU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fac, err := h.BiasAt(PointFacility)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(fac > pdu && pdu > 0) {
+		t.Errorf("bias ordering wrong: pdu %v, facility %v", pdu, fac)
+	}
+}
+
+func TestFacadeProjectFleetCost(t *testing.T) {
+	perNode := []float64{398, 402, 401, 399, 400, 400, 397, 403}
+	proj, err := ProjectFleetCost(CostModel{
+		EnergyPricePerKWh: 0.2, PUE: 1.3, UtilizationFactor: 1, Years: 1,
+	}, perNode, 1000, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1000 × 400 W × 1.3 × 8766 h × 0.2 ≈ 911k.
+	if proj.Cost < 8e5 || proj.Cost > 1.1e6 {
+		t.Errorf("fleet cost = %v", proj.Cost)
+	}
+	if !(proj.Lo < proj.Cost && proj.Cost < proj.Hi) {
+		t.Errorf("projection bounds: %+v", proj)
+	}
+}
+
+func TestFacadeTenSegmentAverage(t *testing.T) {
+	s, _ := SystemByKey("pizdaint")
+	tr, err := SystemTrace(s, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean, segs, err := TenSegmentAverage(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 10 || mean <= 0 {
+		t.Errorf("ten-segment: %v, %d segs", mean, len(segs))
+	}
+	// On the declining Piz Daint profile the last segment is the lowest.
+	min := segs[0]
+	for _, s := range segs {
+		if s < min {
+			min = s
+		}
+	}
+	if segs[9] != min {
+		t.Errorf("last segment %v is not the minimum %v", segs[9], min)
+	}
+}
