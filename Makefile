@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: build test vet race check bench repro
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# The full pre-commit gate: vet, build, and the test suite under the
+# race detector.
+check: vet build race
+
+bench:
+	$(GO) test -run='^$$' -bench=. -benchmem .
+
+repro:
+	$(GO) run ./cmd/repro -exp all

@@ -15,12 +15,15 @@ package nodevar
 import (
 	"fmt"
 	"io"
+	"math"
+	"sort"
 	"strings"
 	"sync"
 	"testing"
 
 	"nodevar/internal/core"
 	"nodevar/internal/methodology"
+	"nodevar/internal/power"
 	"nodevar/internal/sampling"
 	"nodevar/internal/systems"
 )
@@ -123,13 +126,93 @@ func BenchmarkBootstrapReplicates(b *testing.B) {
 }
 
 // BenchmarkTraceCalibration measures fitting one system to its Table 2
-// targets.
+// targets. It deliberately bypasses the calibration cache: the point is
+// the cost of one full Nelder-Mead fit.
 func BenchmarkTraceCalibration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := systems.CalibratedTraceUncached(systems.LCSC, 1000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCalibrationCached measures the memoized path most callers hit.
+func BenchmarkCalibrationCached(b *testing.B) {
+	if _, _, err := systems.CalibratedTrace(systems.LCSC, 1000); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := systems.CalibratedTrace(systems.LCSC, 1000); err != nil {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkWindowAverage compares a windowed average-power query served
+// by the prefix-sum energy index against the naive trapezoid scan it
+// replaced, on a 100k-sample trace.
+func BenchmarkWindowAverage(b *testing.B) {
+	const n = 100000
+	samples := make([]power.Sample, n)
+	for i := range samples {
+		t := float64(i)
+		samples[i] = power.Sample{Time: t, Power: power.Watts(200 + 50*math.Sin(t/300))}
+	}
+	tr, err := power.NewTrace(samples)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const window = 1000.0
+	b.Run("indexed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			a := float64(i % (n / 2))
+			if _, err := tr.AverageBetween(a, a+window); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		s := tr.Samples()
+		for i := 0; i < b.N; i++ {
+			a := float64(i % (n / 2))
+			hi := a + window
+			var total float64
+			prevT, prevP := a, float64(tr.At(a))
+			j := sort.Search(len(s), func(k int) bool { return s[k].Time > a })
+			for ; j < len(s) && s[j].Time < hi; j++ {
+				total += (float64(s[j].Power) + prevP) / 2 * (s[j].Time - prevT)
+				prevT, prevP = s[j].Time, float64(s[j].Power)
+			}
+			total += (float64(tr.At(hi)) + prevP) / 2 * (hi - prevT)
+			if avg := total / window; avg <= 0 {
+				b.Fatal("non-positive average")
+			}
+		}
+	})
+}
+
+// BenchmarkRunAllParallel compares the parallel experiment pipeline with
+// the sequential reference it is byte-identical to. Both sub-benchmarks
+// share the warm calibration cache, so the delta isolates scheduling.
+func BenchmarkRunAllParallel(b *testing.B) {
+	opts := benchOptions()
+	opts.Replicates = 2000
+	opts.MeasurementTrials = 20
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.RunAll(opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.RunAllSequential(opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkLevel1Measurement measures one subset measurement on a

@@ -38,9 +38,21 @@ func main() {
 		MeasurementTrials: *trials,
 	}
 
-	ids := core.IDs()
-	if *exp != "all" {
-		ids = []core.ID{core.ID(*exp)}
+	// Experiments run in parallel (core.RunAll) and render afterwards in
+	// stable ID order, so the output is identical to a sequential run.
+	var results []core.Result
+	if *exp == "all" {
+		all, err := core.RunAll(opts)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		results = all
+	} else {
+		res, err := core.Run(core.ID(*exp), opts)
+		if err != nil {
+			fatalf("running %s: %v", *exp, err)
+		}
+		results = []core.Result{res}
 	}
 	var mdFile *os.File
 	if *md != "" {
@@ -51,11 +63,8 @@ func main() {
 		defer f.Close()
 		mdFile = f
 	}
-	for _, id := range ids {
-		res, err := core.Run(id, opts)
-		if err != nil {
-			fatalf("running %s: %v", id, err)
-		}
+	for _, res := range results {
+		id := res.ID()
 		if err := res.Render(os.Stdout); err != nil {
 			fatalf("rendering %s: %v", id, err)
 		}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 
 	"nodevar/internal/power"
 	"nodevar/internal/sim"
@@ -190,13 +191,24 @@ func Run(c *Cluster, load Load, opts RunOptions) (*RunResult, error) {
 // NodeTrace reconstructs the wall-power trace of one node from the
 // retained per-tick state. It panics if i is out of range.
 func (r *RunResult) NodeTrace(i int) *power.Trace {
+	return r.NodeTraceInto(i, nil)
+}
+
+// NodeTraceInto is NodeTrace with a caller-supplied sample buffer: when
+// buf has sufficient capacity it is reused instead of allocating. The
+// returned trace aliases buf, so the caller must not reuse buf until it
+// is done with the trace. It panics if i is out of range.
+func (r *RunResult) NodeTraceInto(i int, buf []power.Sample) *power.Trace {
 	c := r.Cluster
 	if i < 0 || i >= c.N() {
 		panic(fmt.Sprintf("cluster: node index %d out of range [0, %d)", i, c.N()))
 	}
 	m := &c.Model
 	ns := c.nodes[i]
-	samples := make([]power.Sample, len(r.times))
+	if cap(buf) < len(r.times) {
+		buf = make([]power.Sample, len(r.times))
+	}
+	samples := buf[:len(r.times)]
 	for k, t := range r.times {
 		dc := m.IdleWatts*ns.idle*r.thermal[k] +
 			m.DynamicWatts*ns.dynamic*r.utilDyn[k]*r.thermal[k] +
@@ -209,6 +221,97 @@ func (r *RunResult) NodeTrace(i int) *power.Trace {
 		panic(err)
 	}
 	return tr
+}
+
+// SubsetTrace returns the summed wall-power trace of a node subset in one
+// pass over the tick state, without materializing per-node traces. The
+// per-tick accumulation follows idx order, so the result is sample-for-
+// sample identical to summing the individual NodeTrace outputs.
+func (r *RunResult) SubsetTrace(idx []int) (*power.Trace, error) {
+	return r.SubsetTraceBetween(idx, r.times[0], r.times[len(r.times)-1])
+}
+
+// SubsetTraceBetween is SubsetTrace restricted to the ticks covering
+// [lo, hi]: the returned trace starts at the last tick at or before lo and
+// ends at the first tick at or after hi (clamped to the run), so
+// interpolated reads within the window are identical to reads on the full
+// subset trace while only the window's ticks are computed.
+func (r *RunResult) SubsetTraceBetween(idx []int, lo, hi float64) (*power.Trace, error) {
+	c := r.Cluster
+	if len(idx) == 0 {
+		return nil, errors.New("cluster: empty node subset")
+	}
+	for _, i := range idx {
+		if i < 0 || i >= c.N() {
+			return nil, fmt.Errorf("cluster: node index %d out of range [0, %d)", i, c.N())
+		}
+	}
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	klo := sort.Search(len(r.times), func(k int) bool { return r.times[k] >= lo })
+	if klo == len(r.times) {
+		klo--
+	}
+	if klo > 0 && r.times[klo] > lo {
+		klo--
+	}
+	khi := sort.Search(len(r.times), func(k int) bool { return r.times[k] >= hi })
+	if khi == len(r.times) {
+		khi--
+	}
+	// A trace needs at least two samples; widen degenerate windows.
+	if khi == klo {
+		if khi+1 < len(r.times) {
+			khi++
+		} else if klo > 0 {
+			klo--
+		}
+	}
+	m := &c.Model
+	samples := make([]power.Sample, khi-klo+1)
+	for k := klo; k <= khi; k++ {
+		var sum power.Watts
+		for _, i := range idx {
+			ns := c.nodes[i]
+			dc := m.IdleWatts*ns.idle*r.thermal[k] +
+				m.DynamicWatts*ns.dynamic*r.utilDyn[k]*r.thermal[k] +
+				ns.fan*r.fan[k]
+			sum += m.PSU.WallPower(power.Watts(dc))
+		}
+		samples[k-klo] = power.Sample{Time: r.times[k], Power: sum}
+	}
+	return power.NewTrace(samples)
+}
+
+// NodeTraceAverage returns node i's time-averaged wall power over the run
+// — bit-identical to NodeTrace(i).Average() (the same left-to-right
+// trapezoid summation) but without materializing the trace. It panics if
+// i is out of range and returns 0 for degenerate single-tick runs.
+func (r *RunResult) NodeTraceAverage(i int) float64 {
+	c := r.Cluster
+	if i < 0 || i >= c.N() {
+		panic(fmt.Sprintf("cluster: node index %d out of range [0, %d)", i, c.N()))
+	}
+	if len(r.times) < 2 {
+		return 0
+	}
+	m := &c.Model
+	ns := c.nodes[i]
+	wall := func(k int) float64 {
+		dc := m.IdleWatts*ns.idle*r.thermal[k] +
+			m.DynamicWatts*ns.dynamic*r.utilDyn[k]*r.thermal[k] +
+			ns.fan*r.fan[k]
+		return float64(m.PSU.WallPower(power.Watts(dc)))
+	}
+	var total float64
+	prev := wall(0)
+	for k := 1; k < len(r.times); k++ {
+		cur := wall(k)
+		total += (prev + cur) / 2 * (r.times[k] - r.times[k-1])
+		prev = cur
+	}
+	return total / (r.times[len(r.times)-1] - r.times[0])
 }
 
 // expNeg returns exp(-x) guarding the x<0 impossible case.

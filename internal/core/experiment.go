@@ -10,6 +10,7 @@ import (
 	"io"
 	"sort"
 
+	"nodevar/internal/parallel"
 	"nodevar/internal/report"
 )
 
@@ -123,9 +124,33 @@ func Run(id ID, opts Options) (Result, error) {
 	return r(opts.fill())
 }
 
-// RunAll executes every experiment in order.
+// RunAll executes every experiment and returns the results in stable ID
+// order. Experiments run in parallel: each runner is a pure function of
+// its Options (all randomness flows from opts.Seed through per-experiment
+// generators), so results — including rendered text — are bit-identical
+// to RunAllSequential. Shared work (system-trace calibrations) is
+// deduplicated by the systems package's singleflight cache, so the first
+// experiment to need a trace fits it and the rest wait for that fit.
 func RunAll(opts Options) ([]Result, error) {
-	var out []Result
+	ids := IDs()
+	out := make([]Result, len(ids))
+	errs := make([]error, len(ids))
+	parallel.ForDynamic(len(ids), func(i int) {
+		out[i], errs[i] = Run(ids[i], opts)
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("core: %s: %w", ids[i], err)
+		}
+	}
+	return out, nil
+}
+
+// RunAllSequential executes every experiment one after another in stable
+// ID order. It is the reference implementation RunAll's parallel schedule
+// is validated against; prefer RunAll.
+func RunAllSequential(opts Options) ([]Result, error) {
+	out := make([]Result, 0, len(IDs()))
 	for _, id := range IDs() {
 		res, err := Run(id, opts)
 		if err != nil {

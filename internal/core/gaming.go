@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"nodevar/internal/methodology"
+	"nodevar/internal/parallel"
 	"nodevar/internal/report"
 	"nodevar/internal/systems"
 )
@@ -36,16 +37,29 @@ func runGaming(opts Options) (Result, error) {
 			paper,
 		)
 	}
-	for _, s := range gamingSystems {
+	// The best-window searches dominate this experiment, so systems are
+	// analyzed in parallel; each slot collects the rows for one system and
+	// the table is assembled afterwards in the original order.
+	type gamingRow struct {
+		name  string
+		rep   *methodology.GamingReport
+		paper string
+	}
+	slots := make([][]gamingRow, len(gamingSystems))
+	errs := make([]error, len(gamingSystems))
+	parallel.ForDynamic(len(gamingSystems), func(i int) {
+		s := gamingSystems[i]
 		tr, _, err := systems.CalibratedTrace(s, opts.TraceSamples)
 		if err != nil {
-			return nil, err
+			errs[i] = err
+			return
 		}
 		rep, err := methodology.AnalyzeGaming(s.Name, tr)
 		if err != nil {
-			return nil, err
+			errs[i] = err
+			return
 		}
-		addRow(s.Name, rep, paperGaming[s.Name])
+		slots[i] = append(slots[i], gamingRow{s.Name, rep, paperGaming[s.Name]})
 
 		// The paper attributes the last few points of the L-CSC result
 		// to DVFS: "the power consumption will usually be lowest during
@@ -55,13 +69,25 @@ func runGaming(opts Options) (Result, error) {
 		if s.Key == systems.LCSC.Key {
 			dipped, err := tr.WithValley(0.68, 0.94, 0.045)
 			if err != nil {
-				return nil, err
+				errs[i] = err
+				return
 			}
 			repDip, err := methodology.AnalyzeGaming(s.Name+" + DVFS valley", dipped)
 			if err != nil {
-				return nil, err
+				errs[i] = err
+				return
 			}
-			addRow(s.Name+" + 4.5% DVFS valley", repDip, "+23.9% efficiency")
+			slots[i] = append(slots[i], gamingRow{s.Name + " + 4.5% DVFS valley", repDip, "+23.9% efficiency"})
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, slot := range slots {
+		for _, r := range slot {
+			addRow(r.name, r.rep, r.paper)
 		}
 	}
 

@@ -6,6 +6,7 @@ import (
 	"nodevar/internal/cluster"
 	"nodevar/internal/hpl"
 	"nodevar/internal/methodology"
+	"nodevar/internal/parallel"
 	"nodevar/internal/report"
 	"nodevar/internal/rng"
 	"nodevar/internal/stats"
@@ -16,11 +17,13 @@ import (
 // package's measurement target.
 func TargetFromRun(name string, res *cluster.RunResult, perfGFlops float64) methodology.Target {
 	return methodology.Target{
-		Name:       name,
-		TotalNodes: res.Cluster.N(),
-		System:     res.System,
-		NodeTrace:  res.NodeTrace,
-		PerfGFlops: perfGFlops,
+		Name:        name,
+		TotalNodes:  res.Cluster.N(),
+		System:      res.System,
+		NodeTrace:   res.NodeTrace,
+		SubsetTrace: res.SubsetTraceBetween,
+		NodeAvg:     res.NodeTraceAverage,
+		PerfGFlops:  perfGFlops,
 	}
 }
 
@@ -124,23 +127,35 @@ func runRules(opts Options) (Result, error) {
 			// The gamed window is deterministic; vary only the subset.
 			trials = min(trials, 50)
 		}
-		errs := make([]float64, 0, trials)
-		nodesUsed := 0
-		for k := 0; k < trials; k++ {
+		// Trials are independent — each derives its own seed from the
+		// trial index — so they run in parallel with index-addressed
+		// results, keeping the summary identical to the sequential order.
+		errs := make([]float64, trials)
+		nodes := make([]int, trials)
+		failures := make([]error, trials)
+		parallel.ForDynamic(trials, func(k int) {
 			m, err := methodology.Measure(target, cfg.spec, methodology.Options{
 				Placement: cfg.placement,
 				Seed:      opts.Seed + uint64(k)*7919,
 			})
 			if err != nil {
-				return nil, err
+				failures[k] = err
+				return
 			}
 			rel, err := m.RelativeError(target)
 			if err != nil {
+				failures[k] = err
+				return
+			}
+			errs[k] = rel
+			nodes[k] = m.NodesUsed
+		})
+		for _, err := range failures {
+			if err != nil {
 				return nil, err
 			}
-			errs = append(errs, rel)
-			nodesUsed = m.NodesUsed
 		}
+		nodesUsed := nodes[trials-1]
 		es := summarizeErrors(errs)
 		t.AddRow(cfg.name,
 			fmt.Sprint(nodesUsed),

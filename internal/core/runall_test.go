@@ -1,0 +1,81 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"nodevar/internal/systems"
+)
+
+// TestRunAllMatchesSequentialByteForByte is the determinism contract of
+// the parallel pipeline: at a fixed seed the parallel RunAll must render
+// exactly the same bytes as the sequential reference, regardless of
+// scheduling.
+func TestRunAllMatchesSequentialByteForByte(t *testing.T) {
+	opts := Options{
+		Seed:              2015,
+		TraceSamples:      500,
+		Replicates:        1200,
+		MeasurementTrials: 10,
+	}
+	render := func(results []Result) string {
+		var sb strings.Builder
+		for _, r := range results {
+			if err := r.Render(&sb); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return sb.String()
+	}
+
+	seq, err := RunAllSequential(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqOut := render(seq)
+
+	// Clear the calibration cache so the parallel run re-fits everything
+	// under concurrency instead of reusing the sequential run's entries.
+	systems.ResetCalibrationCache()
+	par, err := RunAll(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parOut := render(par)
+
+	if len(par) != len(seq) {
+		t.Fatalf("result counts differ: %d vs %d", len(par), len(seq))
+	}
+	for i := range par {
+		if par[i].ID() != seq[i].ID() {
+			t.Fatalf("result %d: id %q vs %q", i, par[i].ID(), seq[i].ID())
+		}
+	}
+	if parOut != seqOut {
+		// Locate the first divergence for a readable failure.
+		limit := len(parOut)
+		if len(seqOut) < limit {
+			limit = len(seqOut)
+		}
+		at := limit
+		for i := 0; i < limit; i++ {
+			if parOut[i] != seqOut[i] {
+				at = i
+				break
+			}
+		}
+		lo := at - 80
+		if lo < 0 {
+			lo = 0
+		}
+		hiP, hiS := at+80, at+80
+		if hiP > len(parOut) {
+			hiP = len(parOut)
+		}
+		if hiS > len(seqOut) {
+			hiS = len(seqOut)
+		}
+		t.Fatalf("parallel output diverges from sequential at byte %d:\nparallel:   ...%q\nsequential: ...%q",
+			at, parOut[lo:hiP], seqOut[lo:hiS])
+	}
+}

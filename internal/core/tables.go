@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"nodevar/internal/methodology"
+	"nodevar/internal/parallel"
 	"nodevar/internal/power"
 	"nodevar/internal/report"
 	"nodevar/internal/sampling"
@@ -68,20 +69,32 @@ type table2Row struct {
 }
 
 // reproduceTable2 generates the calibrated traces and segment reports.
+// Systems are calibrated in parallel; rows keep the presentation order
+// because each worker writes only its own index.
 func reproduceTable2(opts Options) ([]table2Row, []*power.Trace, error) {
-	var rows []table2Row
-	var traces []*power.Trace
-	for _, s := range systems.Table2Systems() {
+	specs := systems.Table2Systems()
+	rows := make([]table2Row, len(specs))
+	traces := make([]*power.Trace, len(specs))
+	errs := make([]error, len(specs))
+	parallel.ForDynamic(len(specs), func(i int) {
+		s := specs[i]
 		tr, _, err := systems.CalibratedTrace(s, opts.TraceSamples)
 		if err != nil {
-			return nil, nil, err
+			errs[i] = err
+			return
 		}
 		rep, err := power.Segments(tr)
 		if err != nil {
+			errs[i] = err
+			return
+		}
+		rows[i] = table2Row{System: s.Name, Reproduced: rep, Reference: *s.Trace}
+		traces[i] = tr
+	})
+	for _, err := range errs {
+		if err != nil {
 			return nil, nil, err
 		}
-		rows = append(rows, table2Row{System: s.Name, Reproduced: rep, Reference: *s.Trace})
-		traces = append(traces, tr)
 	}
 	return rows, traces, nil
 }

@@ -5,6 +5,7 @@ import (
 
 	"nodevar/internal/meter"
 	"nodevar/internal/methodology"
+	"nodevar/internal/parallel"
 	"nodevar/internal/report"
 	"nodevar/internal/stats"
 )
@@ -126,13 +127,22 @@ func runVarianceDecomp(opts Options) (Result, error) {
 			opts.MeasurementTrials, truth.Kilowatts()),
 		"Error source", "Error sd", "Worst |error|")
 	for _, f := range factors {
-		var acc stats.Accumulator
-		worst := 0.0
-		for k := 0; k < opts.MeasurementTrials; k++ {
-			v, err := f.measure(opts.Seed + uint64(k)*104729)
+		// Trials are seeded per index, so they parallelize; the
+		// accumulator then consumes the values in index order, keeping the
+		// floating-point summation identical to a sequential run.
+		vals := make([]float64, opts.MeasurementTrials)
+		failures := make([]error, opts.MeasurementTrials)
+		parallel.ForDynamic(opts.MeasurementTrials, func(k int) {
+			vals[k], failures[k] = f.measure(opts.Seed + uint64(k)*104729)
+		})
+		for _, err := range failures {
 			if err != nil {
 				return nil, err
 			}
+		}
+		var acc stats.Accumulator
+		worst := 0.0
+		for _, v := range vals {
 			acc.Add(v)
 			if a := v; a < 0 {
 				a = -a

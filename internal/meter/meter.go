@@ -101,11 +101,12 @@ func (m *Meter) Measure(tr *power.Trace, a, b float64) (*power.Trace, error) {
 		return nil, fmt.Errorf("meter: window [%v, %v] outside trace span [%v, %v]",
 			a, b, tr.Start(), tr.End())
 	}
-	var out []power.Sample
+	out := make([]power.Sample, 0, int((b-a)/m.spec.SamplePeriod)+2)
+	cur := tr.Cursor() // sample times only increase, so read sequentially
 	for x := a; x < b; x += m.spec.SamplePeriod {
-		out = append(out, power.Sample{Time: x, Power: m.reading(tr.At(x))})
+		out = append(out, power.Sample{Time: x, Power: m.reading(cur.At(x))})
 	}
-	out = append(out, power.Sample{Time: b, Power: m.reading(tr.At(b))})
+	out = append(out, power.Sample{Time: b, Power: m.reading(cur.At(b))})
 	return power.NewTrace(out)
 }
 

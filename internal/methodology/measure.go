@@ -22,6 +22,17 @@ type Target struct {
 	// NodeTrace returns the true power trace of one node (indices
 	// 0..TotalNodes-1).
 	NodeTrace func(i int) *power.Trace
+	// SubsetTrace, when non-nil, returns the summed true trace of a node
+	// subset covering at least [lo, hi]. Reads within the window must be
+	// identical to reads on the sum of the NodeTrace outputs in idx order;
+	// providers that keep compact per-tick state (cluster.RunResult)
+	// implement it without materializing per-node traces and restrict the
+	// computed ticks to the window.
+	SubsetTrace func(idx []int, lo, hi float64) (*power.Trace, error)
+	// NodeAvg, when non-nil, returns node i's true time-averaged power and
+	// must equal NodeTrace(i).Average(). It lets biased subset selection
+	// rank nodes without building every node trace.
+	NodeAvg func(i int) float64
 	// PerfGFlops is the benchmark performance credited to the run (for
 	// FLOPS/W efficiency).
 	PerfGFlops float64
@@ -214,7 +225,7 @@ func Measure(t Target, spec Spec, opts Options) (*Measurement, error) {
 		subsetTrace = t.System
 		m.NodeIndex = nil
 	} else {
-		if t.NodeTrace == nil {
+		if t.NodeTrace == nil && t.SubsetTrace == nil {
 			return nil, errors.New("methodology: subset measurement needs per-node traces")
 		}
 		idx := r.SampleWithoutReplacement(t.TotalNodes, nNodes)
@@ -222,13 +233,20 @@ func Measure(t Target, spec Spec, opts Options) (*Measurement, error) {
 			idx = lowestPowerNodes(t, nNodes)
 		}
 		m.NodeIndex = idx
-		traces := make([]*power.Trace, len(idx))
-		for i, node := range idx {
-			traces[i] = t.NodeTrace(node)
-		}
-		subsetTrace, err = sumAligned(traces)
-		if err != nil {
-			return nil, err
+		if t.SubsetTrace != nil {
+			subsetTrace, err = t.SubsetTrace(idx, lo, hi)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			traces := make([]*power.Trace, len(idx))
+			for i, node := range idx {
+				traces[i] = t.NodeTrace(node)
+			}
+			subsetTrace, err = sumAligned(traces)
+			if err != nil {
+				return nil, err
+			}
 		}
 		scale = float64(t.TotalNodes) / float64(nNodes)
 	}
@@ -275,6 +293,10 @@ func lowestPowerNodes(t Target, n int) []int {
 	}
 	all := make([]nodeAvg, t.TotalNodes)
 	for i := 0; i < t.TotalNodes; i++ {
+		if t.NodeAvg != nil {
+			all[i] = nodeAvg{idx: i, avg: t.NodeAvg(i)}
+			continue
+		}
 		avg, err := t.NodeTrace(i).Average()
 		if err != nil {
 			avg = 0

@@ -10,6 +10,7 @@ package parallel
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"nodevar/internal/rng"
 )
@@ -86,6 +87,41 @@ func ForChunked(n int, body func(r Range)) {
 			defer wg.Done()
 			body(r)
 		}(r)
+	}
+	wg.Wait()
+}
+
+// ForDynamic runs body(i) for every i in [0, n) with dynamic scheduling:
+// workers pull the next index from a shared counter instead of owning a
+// fixed range, so wildly heterogeneous per-item costs balance
+// automatically. body must be safe for concurrent invocation on distinct
+// indices and should write results to caller-owned, index-addressed
+// storage, which keeps the outcome independent of scheduling order.
+func ForDynamic(n int, body func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := Workers(n)
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				body(i)
+			}
+		}()
 	}
 	wg.Wait()
 }

@@ -4,13 +4,67 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // Trace is a power-versus-time series with strictly increasing timestamps.
 // Between samples the power is treated as piecewise linear, which is how
 // both the energy integral and the segment averages are defined.
+//
+// Windowed queries (EnergyBetween, AverageBetween, Slice) are served from a
+// lazily built prefix-sum energy index, so after the first query each
+// window costs O(log n) instead of a full scan. The index is built at most
+// once per trace revision and is safe to use from concurrent readers;
+// Append invalidates it.
 type Trace struct {
 	samples []Sample
+	// idx caches the cumulative trapezoid integral per sample. It is nil
+	// until the first windowed query and reset to nil by Append. Concurrent
+	// readers may race to build it; the build is deterministic, so whichever
+	// store wins is equivalent.
+	idx atomic.Pointer[energyIndex]
+}
+
+// energyIndex is an immutable prefix-sum table over one trace revision:
+// prefix[i] is the trapezoid integral of power from samples[0] to
+// samples[i] (prefix[0] = 0).
+type energyIndex struct {
+	prefix []float64
+}
+
+// index returns the trace's energy index, building it on first use.
+func (t *Trace) index() *energyIndex {
+	if e := t.idx.Load(); e != nil {
+		return e
+	}
+	prefix := make([]float64, len(t.samples))
+	for i := 1; i < len(t.samples); i++ {
+		a, b := t.samples[i-1], t.samples[i]
+		prefix[i] = prefix[i-1] + (float64(a.Power)+float64(b.Power))/2*(b.Time-a.Time)
+	}
+	e := &energyIndex{prefix: prefix}
+	t.idx.Store(e)
+	return e
+}
+
+// energyTo returns the cumulative energy from the trace start to time x,
+// combining the prefix table with one interpolated boundary term. x must
+// lie within [Start-ε, End+ε]; values before the first sample contribute 0.
+func (t *Trace) energyTo(e *energyIndex, x float64) float64 {
+	s := t.samples
+	// i is the last sample with Time <= x.
+	i := sort.Search(len(s), func(k int) bool { return s[k].Time > x }) - 1
+	if i < 0 {
+		return 0
+	}
+	total := e.prefix[i]
+	if i+1 < len(s) && x > s[i].Time {
+		a, b := s[i], s[i+1]
+		frac := (x - a.Time) / (b.Time - a.Time)
+		px := float64(a.Power) + frac*(float64(b.Power)-float64(a.Power))
+		total += (float64(a.Power) + px) / 2 * (x - a.Time)
+	}
+	return total
 }
 
 // ErrShortTrace is returned by operations that need at least two samples.
@@ -35,6 +89,7 @@ func (t *Trace) Append(s Sample) error {
 		return fmt.Errorf("power: appended timestamp %v not after %v", s.Time, t.samples[n-1].Time)
 	}
 	t.samples = append(t.samples, s)
+	t.idx.Store(nil)
 	return nil
 }
 
@@ -82,6 +137,44 @@ func (t *Trace) At(x float64) Watts {
 	return a.Power + Watts(frac)*(b.Power-a.Power)
 }
 
+// Cursor reads a trace at non-decreasing query times in amortized O(1)
+// per read, replacing At's binary search with a forward walk. Queries
+// must not decrease between calls; results are identical to At.
+type Cursor struct {
+	t *Trace
+	// i is the index of the first sample with Time >= the previous query
+	// (the interpolation upper bound).
+	i int
+}
+
+// Cursor returns a sequential reader positioned at the trace start.
+func (t *Trace) Cursor() *Cursor {
+	if len(t.samples) == 0 {
+		panic("power: empty trace")
+	}
+	return &Cursor{t: t}
+}
+
+// At returns the linearly interpolated power at time x, which must be
+// >= the previous query's time. Outside the trace span it clamps like
+// Trace.At.
+func (c *Cursor) At(x float64) Watts {
+	s := c.t.samples
+	n := len(s)
+	if x <= s[0].Time {
+		return s[0].Power
+	}
+	if x >= s[n-1].Time {
+		return s[n-1].Power
+	}
+	for c.i < n && s[c.i].Time < x {
+		c.i++
+	}
+	a, b := s[c.i-1], s[c.i]
+	frac := (x - a.Time) / (b.Time - a.Time)
+	return a.Power + Watts(frac)*(b.Power-a.Power)
+}
+
 // Energy returns the trapezoidal integral of power over the full trace.
 func (t *Trace) Energy() (Joules, error) {
 	return t.EnergyBetween(t.Start(), t.End())
@@ -91,6 +184,28 @@ func (t *Trace) Energy() (Joules, error) {
 // interpolating at the endpoints. It returns an error if the trace has
 // fewer than 2 samples or the window is empty or outside the trace.
 func (t *Trace) EnergyBetween(a, b float64) (Joules, error) {
+	if len(t.samples) < 2 {
+		return 0, ErrShortTrace
+	}
+	if a > b {
+		a, b = b, a
+	}
+	if a < t.Start()-1e-9 || b > t.End()+1e-9 {
+		return 0, fmt.Errorf("power: window [%v, %v] outside trace span [%v, %v]",
+			a, b, t.Start(), t.End())
+	}
+	if a == b {
+		return 0, nil
+	}
+	e := t.index()
+	return Joules(t.energyTo(e, b) - t.energyTo(e, a)), nil
+}
+
+// energyBetweenNaive is the original O(window) trapezoid scan. It is the
+// reference implementation the prefix-sum index is validated against and
+// is kept for traces queried exactly once, where building the index would
+// not pay for itself.
+func (t *Trace) energyBetweenNaive(a, b float64) (Joules, error) {
 	if len(t.samples) < 2 {
 		return 0, ErrShortTrace
 	}
@@ -163,12 +278,16 @@ func (t *Trace) Slice(a, b float64) (*Trace, error) {
 	if a < t.Start()-1e-9 || b > t.End()+1e-9 {
 		return nil, fmt.Errorf("power: slice window [%v, %v] outside trace", a, b)
 	}
-	out := []Sample{{Time: a, Power: t.At(a)}}
-	for _, s := range t.samples {
-		if s.Time > a && s.Time < b {
-			out = append(out, s)
-		}
+	// Binary-search the interior sample range instead of scanning the
+	// whole trace.
+	lo := sort.Search(len(t.samples), func(i int) bool { return t.samples[i].Time > a })
+	hi := sort.Search(len(t.samples), func(i int) bool { return t.samples[i].Time >= b })
+	if hi < lo { // possible only for an empty window (a == b)
+		hi = lo
 	}
+	out := make([]Sample, 0, hi-lo+2)
+	out = append(out, Sample{Time: a, Power: t.At(a)})
+	out = append(out, t.samples[lo:hi]...)
 	if b > a {
 		out = append(out, Sample{Time: b, Power: t.At(b)})
 	}

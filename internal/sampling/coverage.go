@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 
 	"nodevar/internal/parallel"
@@ -95,8 +96,16 @@ func (p CoveragePoint) Miscalibration() float64 {
 //  3. form the t-based interval of Equation 1,
 //  4. check whether it covers the simulated machine's true mean.
 //
+// One simulated machine per replicate serves every configured sample
+// size: generating the Population-node machine dominates the cost, and a
+// without-replacement subset drawn from the (permuted) machine is
+// uniform for each size regardless of earlier draws, so sharing it
+// changes nothing statistically while dividing the dominant work by
+// len(SampleSizes).
+//
 // Replicates are distributed over deterministic RNG chunks and run in
-// parallel.
+// parallel; results are bit-identical for a fixed (Seed, Chunks) pair
+// regardless of GOMAXPROCS or scheduling.
 func CoverageStudy(cfg CoverageConfig) ([]CoveragePoint, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -106,38 +115,50 @@ func CoverageStudy(cfg CoverageConfig) ([]CoveragePoint, error) {
 		chunks = 64
 	}
 	root := rng.New(cfg.Seed)
-	points := make([]CoveragePoint, 0, len(cfg.SampleSizes)*len(cfg.Levels))
+	nSizes, nLevels := len(cfg.SampleSizes), len(cfg.Levels)
 
-	for _, n := range cfg.SampleSizes {
-		// Precompute the critical values for this n.
-		crit := make([]float64, len(cfg.Levels))
-		for i, lv := range cfg.Levels {
+	// Precompute the critical values for every (n, level) pair.
+	crit := make([][]float64, nSizes)
+	for ni, n := range cfg.SampleSizes {
+		crit[ni] = make([]float64, nLevels)
+		for li, lv := range cfg.Levels {
 			if cfg.UseZ {
-				crit[i] = stats.ZQuantile(1 - (1-lv)/2)
+				crit[ni][li] = stats.ZQuantile(1 - (1-lv)/2)
 			} else {
-				crit[i] = stats.TQuantile(n-1, 1-(1-lv)/2)
+				crit[ni][li] = stats.TQuantile(n-1, 1-(1-lv)/2)
 			}
 		}
-		hits := make([]int64, len(cfg.Levels))
-		var widthSum float64
-		var mu sync.Mutex
+	}
 
-		parallel.ForSeededChunks(cfg.Replicates, chunks, root, func(r parallel.Range, stream *rng.Rand) {
-			machine := make([]float64, cfg.Population)
-			localHits := make([]int64, len(cfg.Levels))
-			var localWidth float64
-			for rep := r.Lo; rep < r.Hi; rep++ {
-				// Step 1: bootstrap machine and its true mean.
-				var sum float64
-				for i := range machine {
-					v := cfg.Pilot[stream.Intn(len(cfg.Pilot))]
-					machine[i] = v
-					sum += v
-				}
-				trueMean := sum / float64(cfg.Population)
+	// Flat [ni*nLevels+li] accumulators. Width partial sums are kept per
+	// chunk, keyed by the chunk's starting replicate, so the final
+	// floating-point reduction runs in a fixed order regardless of which
+	// goroutine finishes first.
+	hits := make([]int64, nSizes*nLevels)
+	type widthPart struct {
+		lo     int
+		widths []float64
+	}
+	var parts []widthPart
+	var mu sync.Mutex
+
+	parallel.ForSeededChunks(cfg.Replicates, chunks, root, func(r parallel.Range, stream *rng.Rand) {
+		machine := make([]float64, cfg.Population)
+		localHits := make([]int64, nSizes*nLevels)
+		localWidth := make([]float64, nSizes*nLevels)
+		for rep := r.Lo; rep < r.Hi; rep++ {
+			// Step 1: bootstrap machine and its true mean.
+			var sum float64
+			for i := range machine {
+				v := cfg.Pilot[stream.Intn(len(cfg.Pilot))]
+				machine[i] = v
+				sum += v
+			}
+			trueMean := sum / float64(cfg.Population)
+			for ni, n := range cfg.SampleSizes {
 				// Step 2: subset of n without replacement (partial
-				// Fisher-Yates; machine is regenerated each replicate so
-				// mutating it is safe).
+				// Fisher-Yates; swaps permute the machine in place, which
+				// keeps later draws uniform over the same multiset).
 				var acc stats.Accumulator
 				for i := 0; i < n; i++ {
 					j := i + stream.Intn(cfg.Population-i)
@@ -146,31 +167,46 @@ func CoverageStudy(cfg CoverageConfig) ([]CoveragePoint, error) {
 				}
 				mean := acc.Mean()
 				se := acc.StdDev() / math.Sqrt(float64(n))
-				// Steps 3-4 for every level.
-				for li, cv := range crit {
+				// Steps 3-4 for every level: interval hit and the level's
+				// own relative half-width (wider levels have wider
+				// intervals, so widths are tracked per level).
+				for li, cv := range crit[ni] {
 					half := cv * se
 					if mean-half <= trueMean && trueMean <= mean+half {
-						localHits[li]++
+						localHits[ni*nLevels+li]++
+					}
+					if mean != 0 {
+						localWidth[ni*nLevels+li] += half / math.Abs(mean)
 					}
 				}
-				if mean != 0 {
-					localWidth += crit[0] * se / math.Abs(mean)
-				}
 			}
-			mu.Lock()
-			for li := range hits {
-				hits[li] += localHits[li]
-			}
-			widthSum += localWidth
-			mu.Unlock()
-		})
+		}
+		mu.Lock()
+		for i := range hits {
+			hits[i] += localHits[i]
+		}
+		parts = append(parts, widthPart{lo: r.Lo, widths: localWidth})
+		mu.Unlock()
+	})
 
+	// Reduce partial widths in chunk order for a scheduling-independent
+	// floating-point sum.
+	sort.Slice(parts, func(i, j int) bool { return parts[i].lo < parts[j].lo })
+	widthSums := make([]float64, nSizes*nLevels)
+	for _, p := range parts {
+		for i, w := range p.widths {
+			widthSums[i] += w
+		}
+	}
+
+	points := make([]CoveragePoint, 0, nSizes*nLevels)
+	for ni, n := range cfg.SampleSizes {
 		for li, lv := range cfg.Levels {
 			points = append(points, CoveragePoint{
 				SampleSize:   n,
 				Level:        lv,
-				Coverage:     float64(hits[li]) / float64(cfg.Replicates),
-				MeanRelWidth: widthSum / float64(cfg.Replicates),
+				Coverage:     float64(hits[ni*nLevels+li]) / float64(cfg.Replicates),
+				MeanRelWidth: widthSums[ni*nLevels+li] / float64(cfg.Replicates),
 				Replicates:   cfg.Replicates,
 			})
 		}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"nodevar/internal/rng"
+	"nodevar/internal/stats"
 )
 
 func lrzLikePilot(n int, seed uint64) []float64 {
@@ -101,6 +102,38 @@ func TestCoverageWidthShrinksWithN(t *testing.T) {
 	}
 	if !(w50 < w5) {
 		t.Errorf("interval width did not shrink: n=5 %v, n=50 %v", w5, w50)
+	}
+}
+
+func TestCoverageWidthGrowsWithLevel(t *testing.T) {
+	// Regression test: MeanRelWidth was once computed from the first
+	// configured level's critical value and reported identically for every
+	// level. Each level's interval uses its own critical value, so at a
+	// fixed n the 99% interval must be wider than the 95%, which must be
+	// wider than the 80%.
+	cfg := defaultCoverageConfig()
+	cfg.SampleSizes = []int{10}
+	cfg.Replicates = 1500
+	points, err := CoverageStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	widths := map[float64]float64{}
+	for _, p := range points {
+		widths[p.Level] = p.MeanRelWidth
+	}
+	if !(widths[0.80] < widths[0.95] && widths[0.95] < widths[0.99]) {
+		t.Errorf("widths not increasing with level: 80%%=%v 95%%=%v 99%%=%v",
+			widths[0.80], widths[0.95], widths[0.99])
+	}
+	// The ratio between two levels' mean widths is exactly the ratio of
+	// their critical values (width is linear in the critical value).
+	t80 := stats.TQuantile(9, 1-(1-0.80)/2)
+	t99 := stats.TQuantile(9, 1-(1-0.99)/2)
+	got := widths[0.99] / widths[0.80]
+	want := t99 / t80
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("width ratio 99/80 = %v, want critical-value ratio %v", got, want)
 	}
 }
 

@@ -1,0 +1,72 @@
+package systems
+
+import (
+	"sync"
+
+	"nodevar/internal/hpl"
+	"nodevar/internal/power"
+)
+
+// The calibration cache. Fitting a system trace runs thousands of
+// Nelder-Mead objective evaluations, each an O(samples) grid sweep, and
+// the experiment pipeline asks for the same (system, resolution) pairs
+// over and over: Table 2, Figure 1, the gaming study and cmd/repro all
+// calibrate the same four machines. The cache memoizes the deterministic
+// fit result and deduplicates concurrent requests singleflight-style, so
+// each distinct calibration runs exactly once per process.
+//
+// Correctness relies on two facts: the fit is a pure function of the key
+// (no RNG), and the returned trace is immutable by convention (Samples()
+// is documented as shared storage). Callers that need to mutate derive a
+// copy via Scale/Map/WithValley, all of which allocate fresh traces.
+
+// calKey identifies one calibration: everything CalibratedTrace's output
+// depends on. The published targets and the HPL template are embedded by
+// value so two specs sharing a Key but differing in configuration cannot
+// collide.
+type calKey struct {
+	key     string
+	samples int
+	targets TraceTargets
+	hpl     hpl.Config
+}
+
+// calEntry is one cache slot; once guards the single fit.
+type calEntry struct {
+	once sync.Once
+	tr   *power.Trace
+	cal  *Calibration
+	err  error
+}
+
+var calCache sync.Map // calKey -> *calEntry
+
+// CalibratedTrace returns the calibrated system power trace and fit
+// parameters for a Table 2 system, memoized per (system, resolution).
+// Concurrent callers for the same key share one fit; the returned trace
+// is shared and must be treated as read-only. samples <= 1 selects the
+// default resolution (2000).
+func CalibratedTrace(s Spec, samples int) (*power.Trace, *Calibration, error) {
+	if s.Trace == nil {
+		return nil, nil, ErrNoTraceTargets
+	}
+	if samples <= 1 {
+		samples = defaultTraceSamples
+	}
+	k := calKey{key: s.Key, samples: samples, targets: *s.Trace, hpl: s.HPL}
+	v, _ := calCache.LoadOrStore(k, &calEntry{})
+	e := v.(*calEntry)
+	e.once.Do(func() {
+		e.tr, e.cal, e.err = CalibratedTraceUncached(s, samples)
+	})
+	return e.tr, e.cal, e.err
+}
+
+// ResetCalibrationCache drops every memoized calibration. It exists for
+// benchmarks and tests that need to measure or exercise the cold path.
+func ResetCalibrationCache() {
+	calCache.Range(func(k, _ any) bool {
+		calCache.Delete(k)
+		return true
+	})
+}

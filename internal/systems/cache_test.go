@@ -1,0 +1,118 @@
+package systems
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCalibrationCacheReturnsEquivalentResults(t *testing.T) {
+	ResetCalibrationCache()
+	trCold, calCold, err := CalibratedTrace(LCSC, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trWarm, calWarm, err := CalibratedTrace(LCSC, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trWarm != trCold {
+		t.Error("warm call did not return the memoized trace")
+	}
+	if calWarm != calCold {
+		t.Error("warm call did not return the memoized calibration")
+	}
+	// The memoized result matches a fresh fit exactly: the fit is a pure
+	// function of the key.
+	trFresh, calFresh, err := CalibratedTraceUncached(LCSC, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trFresh.Len() != trCold.Len() {
+		t.Fatalf("lengths differ: %d vs %d", trFresh.Len(), trCold.Len())
+	}
+	for i, s := range trFresh.Samples() {
+		if s != trCold.Samples()[i] {
+			t.Fatalf("sample %d differs: %+v vs %+v", i, s, trCold.Samples()[i])
+		}
+	}
+	if calFresh.IdleKW != calCold.IdleKW || calFresh.DynamicKW != calCold.DynamicKW ||
+		calFresh.Warmup != calCold.Warmup || calFresh.MaxRelErr != calCold.MaxRelErr {
+		t.Errorf("calibrations differ: %+v vs %+v", calFresh, calCold)
+	}
+}
+
+func TestCalibrationCacheKeyedByResolution(t *testing.T) {
+	ResetCalibrationCache()
+	tr400, _, err := CalibratedTrace(Colosse, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr500, _, err := CalibratedTrace(Colosse, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr400 == tr500 {
+		t.Error("different resolutions shared one cache slot")
+	}
+	if tr400.Len() != 400 || tr500.Len() != 500 {
+		t.Errorf("lengths = %d, %d", tr400.Len(), tr500.Len())
+	}
+}
+
+func TestCalibrationCacheKeyedByConfig(t *testing.T) {
+	ResetCalibrationCache()
+	trOrig, _, err := CalibratedTrace(TsubameKFC, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same Key, different targets: must not collide.
+	altered := TsubameKFC
+	targets := *TsubameKFC.Trace
+	targets.CoreKW *= 1.1
+	targets.First20KW *= 1.1
+	targets.Last20KW *= 1.1
+	altered.Trace = &targets
+	trAlt, _, err := CalibratedTrace(altered, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trAlt == trOrig {
+		t.Fatal("altered targets hit the original cache slot")
+	}
+	avgOrig, err := trOrig.Average()
+	if err != nil {
+		t.Fatal(err)
+	}
+	avgAlt, err := trAlt.Average()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(float64(avgAlt) > float64(avgOrig)*1.05) {
+		t.Errorf("altered-target trace average %v not above original %v", avgAlt, avgOrig)
+	}
+}
+
+func TestCalibrationCacheSingleflight(t *testing.T) {
+	ResetCalibrationCache()
+	const goroutines = 8
+	traces := make([]any, goroutines)
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			defer wg.Done()
+			tr, _, err := CalibratedTrace(PizDaint, 350)
+			if err != nil {
+				traces[g] = err
+				return
+			}
+			traces[g] = tr
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < goroutines; g++ {
+		if traces[g] != traces[0] {
+			t.Fatalf("goroutine %d got a different trace/err: %v vs %v", g, traces[g], traces[0])
+		}
+	}
+}

@@ -75,17 +75,23 @@ func (g *traceGrid) segmentMeans(a, b, w float64) (core, first, last float64) {
 	return sumAll / float64(n), sumFirst / float64(n20), sumLast / float64(n20)
 }
 
-// CalibratedTrace generates the system power trace for a Table 2 system:
-// the HPL progression shape with a thermal warm-up term, with baseline,
-// dynamic range and warm-up depth fitted so the core / first-20% /
-// last-20% averages match the published values. samples controls the
-// trace resolution (default 2000 when <= 1).
-func CalibratedTrace(s Spec, samples int) (*power.Trace, *Calibration, error) {
+// defaultTraceSamples is the trace resolution used when samples <= 1.
+const defaultTraceSamples = 2000
+
+// CalibratedTraceUncached generates the system power trace for a Table 2
+// system: the HPL progression shape with a thermal warm-up term, with
+// baseline, dynamic range and warm-up depth fitted so the core /
+// first-20% / last-20% averages match the published values. samples
+// controls the trace resolution (default 2000 when <= 1).
+//
+// Every call runs the full Nelder-Mead fit. Almost all callers should use
+// CalibratedTrace (see cache.go), which memoizes the result.
+func CalibratedTraceUncached(s Spec, samples int) (*power.Trace, *Calibration, error) {
 	if s.Trace == nil {
 		return nil, nil, ErrNoTraceTargets
 	}
 	if samples <= 1 {
-		samples = 2000
+		samples = defaultTraceSamples
 	}
 	tt := s.Trace
 

@@ -170,11 +170,13 @@ func SimulateMachine(cfg MachineConfig) (*Machine, error) {
 	}
 	return &Machine{
 		Target: Target{
-			Name:       "machine",
-			TotalNodes: cfg.Nodes,
-			System:     res.System,
-			NodeTrace:  res.NodeTrace,
-			PerfGFlops: float64(run.Rmax),
+			Name:        "machine",
+			TotalNodes:  cfg.Nodes,
+			System:      res.System,
+			NodeTrace:   res.NodeTrace,
+			SubsetTrace: res.SubsetTraceBetween,
+			NodeAvg:     res.NodeTraceAverage,
+			PerfGFlops:  float64(run.Rmax),
 		},
 		NodeAverages: res.NodeAverages,
 		RmaxGFlops:   float64(run.Rmax),
