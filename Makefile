@@ -1,6 +1,7 @@
 GO ?= go
+TRACE_OUT ?= trace.json
 
-.PHONY: build test vet race check bench repro
+.PHONY: build test vet race race-obs check bench trace repro
 
 build:
 	$(GO) build ./...
@@ -14,12 +15,25 @@ test:
 race:
 	$(GO) test -race ./...
 
+# The observability package carries the lock-free metrics and the
+# ring-buffer tracer; run it under the race detector on its own so the
+# gate stays meaningful even if the full race target is trimmed later.
+race-obs:
+	$(GO) test -race ./internal/obs/...
+
 # The full pre-commit gate: vet, build, and the test suite under the
 # race detector.
-check: vet build race
+check: vet build race-obs race
 
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem .
+
+# Emit a Chrome trace from a real run and validate it with the same
+# checker chrome://tracing and Perfetto rely on (JSON array of complete
+# "X" events with sane timestamps).
+trace:
+	$(GO) run ./cmd/repro -exp table1 -trace-out $(TRACE_OUT) -manifest none
+	NODEVAR_TRACE_FILE=$(abspath $(TRACE_OUT)) $(GO) test ./internal/obs -run TestValidateTraceFile -count=1
 
 repro:
 	$(GO) run ./cmd/repro -exp all

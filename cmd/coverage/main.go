@@ -30,8 +30,20 @@ func main() {
 		seed       = flag.Uint64("seed", 2015, "random seed")
 		nList      = flag.String("n", "3,5,10,15,20,30,50,100", "comma-separated subset sizes")
 		levelList  = flag.String("levels", "0.80,0.95,0.99", "comma-separated confidence levels")
+		obsFlags   = cli.RegisterObsFlags()
 	)
 	flag.Parse()
+
+	run, err := obsFlags.Start("coverage")
+	if err != nil {
+		fatal(err)
+	}
+	run.SetConfig("system", *system)
+	run.SetConfig("pilot", *pilotSize)
+	run.SetConfig("replicates", *replicates)
+	run.SetConfig("seed", *seed)
+	run.SetConfig("n", *nList)
+	run.SetConfig("levels", *levelList)
 
 	spec, err := systems.ByKey(*system)
 	if err != nil {
@@ -86,6 +98,9 @@ func main() {
 		t.AddRow(row...)
 	}
 	if err := t.WriteText(os.Stdout); err != nil {
+		fatal(err)
+	}
+	if err := run.Finish(); err != nil {
 		fatal(err)
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 
+	"nodevar/internal/cli"
 	"nodevar/internal/green500"
 	"nodevar/internal/methodology"
 	"nodevar/internal/report"
@@ -25,8 +26,22 @@ func main() {
 		top500   = flag.Bool("top500", false, "rank by Rmax (Top500 style) instead of efficiency")
 		csvOut   = flag.String("csv", "", "write the ranked list as CSV to this path")
 		trend    = flag.Bool("trend", false, "print the Green500 #1 efficiency trend 2007-2014")
+		obsFlags = cli.RegisterObsFlags()
 	)
 	flag.Parse()
+
+	run, err := obsFlags.Start("green500")
+	if err != nil {
+		fatal(err)
+	}
+	run.SetConfig("in", *in)
+	run.SetConfig("validate", *validate)
+	run.SetConfig("top500", *top500)
+	defer func() {
+		if err := run.Finish(); err != nil {
+			fatal(err)
+		}
+	}()
 
 	if *trend {
 		t := report.NewTable("Green500 #1 efficiency by edition", "Edition", "MFLOPS/W")

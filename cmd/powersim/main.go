@@ -12,8 +12,10 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 
+	"nodevar/internal/cli"
 	"nodevar/internal/methodology"
 	"nodevar/internal/power"
 	"nodevar/internal/report"
@@ -22,18 +24,33 @@ import (
 
 func main() {
 	var (
-		system  = flag.String("system", "lcsc", "system key (see -list)")
-		samples = flag.Int("samples", 2000, "trace resolution")
-		csvPath = flag.String("csv", "", "write the trace as CSV to this path")
-		list    = flag.Bool("list", false, "list available systems")
-		analyze = flag.String("analyze", "", "analyze a time,power CSV trace instead of simulating")
+		system   = flag.String("system", "lcsc", "system key (see -list)")
+		samples  = flag.Int("samples", 2000, "trace resolution")
+		csvPath  = flag.String("csv", "", "write the trace as CSV to this path")
+		list     = flag.Bool("list", false, "list available systems")
+		analyze  = flag.String("analyze", "", "analyze a time,power CSV trace instead of simulating")
+		obsFlags = cli.RegisterObsFlags()
 	)
 	flag.Parse()
 
-	if *analyze != "" {
-		if err := analyzeCSV(*analyze); err != nil {
+	run, err := obsFlags.Start("powersim")
+	if err != nil {
+		fatal(err)
+	}
+	run.SetConfig("system", *system)
+	run.SetConfig("samples", *samples)
+	finish := func() {
+		if err := run.Finish(); err != nil {
 			fatal(err)
 		}
+	}
+
+	if *analyze != "" {
+		run.SetConfig("analyze", *analyze)
+		if err := analyzeCSV(*analyze, run.Log); err != nil {
+			fatal(err)
+		}
+		finish()
 		return
 	}
 
@@ -49,6 +66,7 @@ func main() {
 		if err := t.WriteText(os.Stdout); err != nil {
 			fatal(err)
 		}
+		finish()
 		return
 	}
 
@@ -95,6 +113,7 @@ func main() {
 		}
 		fmt.Printf("  trace written:      %s (%d samples)\n", *csvPath, tr.Len())
 	}
+	finish()
 }
 
 func fatal(err error) {
@@ -102,10 +121,18 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
+// minWindowSamples is the fewest samples a 20% Level-1 window should
+// contain before its average is trusted: below this, sampling cadence —
+// not the machine — dominates what the window reports (the
+// nvidia-smi-style pitfall of unobserved sampling resolution).
+const minWindowSamples = 10
+
 // analyzeCSV runs the segment and gaming analysis on a user-supplied
 // time,power CSV trace — the same analysis the paper applies to the
-// Green500's published run data.
-func analyzeCSV(path string) error {
+// Green500's published run data. It reports the trace's sampling
+// cadence and warns when the trace is too coarse to resolve a 20%
+// Level-1 measurement window.
+func analyzeCSV(path string, log *slog.Logger) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -120,6 +147,31 @@ func analyzeCSV(path string) error {
 		return err
 	}
 	fmt.Printf("%s: %d samples over %.1f s\n", path, tr.Len(), tr.Duration())
+
+	// Sampling-cadence report: the mean interval plus the largest gap,
+	// then how many samples actually land inside a 20% window.
+	meanInterval := tr.Duration() / float64(tr.Len()-1)
+	var maxGap float64
+	ts := tr.Samples()
+	for i := 1; i < len(ts); i++ {
+		if gap := ts[i].Time - ts[i-1].Time; gap > maxGap {
+			maxGap = gap
+		}
+	}
+	window := 0.2 * tr.Duration()
+	perWindow := window / meanInterval
+	fmt.Printf("  sampling:           %d samples, mean interval %.2f s (max gap %.2f s), ~%.0f samples per 20%% window\n",
+		tr.Len(), meanInterval, maxGap, perWindow)
+	if perWindow < minWindowSamples {
+		log.Warn("trace too coarse to resolve a 20% Level-1 window",
+			"samples", tr.Len(),
+			"mean_interval_s", meanInterval,
+			"max_gap_s", maxGap,
+			"window_s", window,
+			"samples_per_window", perWindow,
+			"min_samples_per_window", minWindowSamples)
+	}
+
 	fmt.Printf("  core-phase power:   %s\n", rep.Core)
 	fmt.Printf("  first 20%%:          %s\n", rep.First20)
 	fmt.Printf("  last 20%%:           %s\n", rep.Last20)

@@ -15,6 +15,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"nodevar/internal/cli"
 	"nodevar/internal/core"
 )
 
@@ -28,8 +29,19 @@ func main() {
 		out        = flag.String("out", "", "directory for CSV output (optional)")
 		svg        = flag.String("svg", "", "directory for SVG figure output (optional)")
 		md         = flag.String("md", "", "file for Markdown table output (optional)")
+		obsFlags   = cli.RegisterObsFlags()
 	)
 	flag.Parse()
+
+	run, err := obsFlags.Start("repro")
+	if err != nil {
+		fatalf("%v", err)
+	}
+	run.SetConfig("exp", *exp)
+	run.SetConfig("seed", *seed)
+	run.SetConfig("samples", *samples)
+	run.SetConfig("replicates", *replicates)
+	run.SetConfig("trials", *trials)
 
 	opts := core.Options{
 		Seed:              *seed,
@@ -54,6 +66,7 @@ func main() {
 		}
 		results = []core.Result{res}
 	}
+	run.Log.Debug("experiments complete", "count", len(results))
 	var mdFile *os.File
 	if *md != "" {
 		f, err := os.Create(*md)
@@ -88,6 +101,9 @@ func main() {
 				fmt.Fprintln(mdFile)
 			}
 		}
+	}
+	if err := run.Finish(); err != nil {
+		fatalf("writing observability output: %v", err)
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 
+	"nodevar/internal/cli"
 	"nodevar/internal/report"
 	"nodevar/internal/sampling"
 )
@@ -26,8 +27,23 @@ func main() {
 		confidence = flag.Float64("confidence", 0.95, "confidence level")
 		table      = flag.Bool("table", false, "print the paper's Table 5 grid")
 		rules      = flag.Bool("rules", false, "compare the 1/64 rule with the revised max(16, 10%) rule")
+		obsFlags   = cli.RegisterObsFlags()
 	)
 	flag.Parse()
+
+	run, err := obsFlags.Start("samplesize")
+	if err != nil {
+		fatal(err)
+	}
+	run.SetConfig("nodes", *nodes)
+	run.SetConfig("cv", *cv)
+	run.SetConfig("accuracy", *accuracy)
+	run.SetConfig("confidence", *confidence)
+	defer func() {
+		if err := run.Finish(); err != nil {
+			fatal(err)
+		}
+	}()
 
 	if *table {
 		grid := sampling.PaperTable5()

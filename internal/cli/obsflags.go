@@ -1,0 +1,167 @@
+package cli
+
+import (
+	"expvar"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"time"
+
+	"nodevar/internal/obs"
+)
+
+// ObsFlags is the observability flag set shared by every command-line
+// tool: logging verbosity and format, metric/trace/manifest output
+// paths, and the pprof/expvar debug server address.
+type ObsFlags struct {
+	Verbose     bool
+	LogFormat   string
+	MetricsOut  string
+	TraceOut    string
+	ManifestOut string
+	PprofAddr   string
+}
+
+// Register installs the flags on fs.
+func (o *ObsFlags) Register(fs *flag.FlagSet) {
+	fs.BoolVar(&o.Verbose, "v", false, "verbose (debug-level) logging")
+	fs.StringVar(&o.LogFormat, "log-format", "text", "log format: text or json")
+	fs.StringVar(&o.MetricsOut, "metrics-out", "", "write the final metrics snapshot as JSON to this path")
+	fs.StringVar(&o.TraceOut, "trace-out", "", "write a Chrome-trace JSON (open in chrome://tracing or Perfetto) to this path")
+	fs.StringVar(&o.ManifestOut, "manifest", "auto",
+		`run manifest path ("auto" writes run-manifest.json when -metrics-out or -trace-out is set; "none" disables)`)
+	fs.StringVar(&o.PprofAddr, "pprof", "", "serve pprof and expvar on this address (e.g. :6060)")
+}
+
+// RegisterObsFlags installs the observability flags on the default
+// (command-line) flag set and returns them.
+func RegisterObsFlags() *ObsFlags {
+	o := &ObsFlags{}
+	o.Register(flag.CommandLine)
+	return o
+}
+
+// manifestPath resolves the -manifest value: explicit paths pass
+// through, "none"/"" disable, and "auto" enables run-manifest.json only
+// when some other observability output was requested.
+func (o *ObsFlags) manifestPath() string {
+	switch o.ManifestOut {
+	case "", "none":
+		return ""
+	case "auto":
+		if o.MetricsOut != "" || o.TraceOut != "" {
+			return "run-manifest.json"
+		}
+		return ""
+	default:
+		return o.ManifestOut
+	}
+}
+
+// Run is one observed command invocation: a structured logger, the
+// process tracer (nil unless tracing or a manifest was requested), and
+// the bookkeeping needed to emit the metrics snapshot, Chrome trace and
+// run manifest at Finish time.
+type Run struct {
+	// Log is the command's structured logger (never nil).
+	Log *slog.Logger
+	// Tracer is the installed process tracer, or nil when disabled.
+	Tracer *obs.Tracer
+
+	flags  ObsFlags
+	cmd    string
+	start  time.Time
+	config map[string]any
+}
+
+// Start validates the flags and opens an observed run: it builds the
+// logger, installs the process tracer when tracing or a manifest was
+// requested, and starts the pprof/expvar server when -pprof is set.
+func (o *ObsFlags) Start(cmd string) (*Run, error) {
+	logger, err := obs.NewLogger(os.Stderr, o.LogFormat, o.Verbose)
+	if err != nil {
+		return nil, err
+	}
+	r := &Run{
+		Log:    logger,
+		flags:  *o,
+		cmd:    cmd,
+		start:  time.Now(),
+		config: map[string]any{},
+	}
+	if o.TraceOut != "" || o.manifestPath() != "" {
+		r.Tracer = obs.NewTracer(0)
+		obs.SetTracer(r.Tracer)
+	}
+	if o.PprofAddr != "" {
+		obs.PublishExpvar()
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/debug/vars", expvar.Handler())
+		srv := &http.Server{Addr: o.PprofAddr, Handler: mux}
+		go func() {
+			logger.Info("pprof/expvar server listening", "addr", o.PprofAddr)
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				logger.Error("pprof server failed", "err", err)
+			}
+		}()
+	}
+	logger.Debug("run started", "cmd", cmd, "args", os.Args[1:])
+	return r, nil
+}
+
+// SetConfig records one effective-configuration entry for the run
+// manifest (seed, resolution, replicate counts, ...).
+func (r *Run) SetConfig(key string, value any) {
+	r.config[key] = value
+}
+
+// Finish emits the requested artifacts: the metrics snapshot
+// (-metrics-out), the Chrome trace (-trace-out) and the run manifest
+// (-manifest). It returns the first error encountered but attempts all
+// outputs.
+func (r *Run) Finish() error {
+	var firstErr error
+	fail := func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if p := r.flags.MetricsOut; p != "" {
+		snap := obs.Default().Snapshot()
+		fail(writeFile(p, snap.WriteJSON))
+		r.Log.Debug("metrics snapshot written", "path", p)
+	}
+	if p := r.flags.TraceOut; p != "" && r.Tracer != nil {
+		fail(writeFile(p, r.Tracer.WriteChromeTrace))
+		r.Log.Debug("chrome trace written", "path", p, "spans", len(r.Tracer.Events()), "dropped", r.Tracer.Dropped())
+	}
+	if p := r.flags.manifestPath(); p != "" {
+		m := obs.NewManifest(r.cmd, os.Args[1:], r.config, r.start, r.Tracer)
+		fail(writeFile(p, m.WriteJSON))
+		r.Log.Debug("run manifest written", "path", p, "version", m.Version)
+	}
+	r.Log.Debug("run finished", "cmd", r.cmd, "elapsed", time.Since(r.start).String())
+	return firstErr
+}
+
+// writeFile creates path and hands it to write, closing on all paths.
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return fmt.Errorf("writing %s: %w", path, err)
+	}
+	return f.Close()
+}

@@ -6,8 +6,17 @@ import (
 	"math"
 	"sort"
 
+	"nodevar/internal/obs"
 	"nodevar/internal/power"
 	"nodevar/internal/sim"
+)
+
+// Simulator metrics: one batched add per run / subset-trace request.
+var (
+	mClusterRuns   = obs.NewCounter("cluster.runs")
+	mClusterTicks  = obs.NewCounter("cluster.ticks")
+	mSubsetTraces  = obs.NewCounter("cluster.subset_traces")
+	mSubsetSamples = obs.NewCounter("cluster.subset_samples")
 )
 
 // Load is a balanced workload as seen by the cluster: a core-phase
@@ -176,6 +185,8 @@ func Run(c *Cluster, load Load, opts RunOptions) (*RunResult, error) {
 		return nil, err
 	}
 	res.System = tr
+	mClusterRuns.Inc()
+	mClusterTicks.Add(int64(len(res.times)))
 
 	// Per-node time-averaged wall power from the basis integrals.
 	res.NodeAverages = make([]float64, c.N())
@@ -281,6 +292,8 @@ func (r *RunResult) SubsetTraceBetween(idx []int, lo, hi float64) (*power.Trace,
 		}
 		samples[k-klo] = power.Sample{Time: r.times[k], Power: sum}
 	}
+	mSubsetTraces.Inc()
+	mSubsetSamples.Add(int64(len(samples)))
 	return power.NewTrace(samples)
 }
 

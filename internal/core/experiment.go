@@ -9,9 +9,22 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
+	"time"
 
+	"nodevar/internal/obs"
 	"nodevar/internal/parallel"
 	"nodevar/internal/report"
+)
+
+// Pipeline metrics: every experiment execution is counted and timed, so
+// a run manifest shows exactly which artifacts a process produced and
+// where the wall time went.
+var (
+	mExperiments = obs.NewCounter("core.experiments_run")
+	mRunAll      = obs.NewCounter("core.runall_calls")
+	hExperiment  = obs.NewHistogram("core.experiment_seconds",
+		[]float64{0.01, 0.05, 0.1, 0.5, 1, 5, 10, 60})
 )
 
 // ID names an experiment (a table or figure of the paper).
@@ -115,13 +128,26 @@ func IDs() []ID {
 // ErrUnknownExperiment is returned for ids not in the registry.
 var ErrUnknownExperiment = errors.New("core: unknown experiment")
 
-// Run executes one experiment.
+// Run executes one experiment. Each execution is traced as one
+// "experiment" span (when a tracer is installed) and counted, so
+// RunAll's schedule is visible stage by stage in the Chrome trace.
 func Run(id ID, opts Options) (Result, error) {
 	r, ok := registry[id]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownExperiment, id)
 	}
-	return r(opts.fill())
+	opts = opts.fill()
+	sp := obs.T().Start("experiment", string(id))
+	sp.Attr("seed", strconv.FormatUint(opts.Seed, 10))
+	t0 := time.Now()
+	res, err := r(opts)
+	hExperiment.Observe(time.Since(t0).Seconds())
+	if err != nil {
+		sp.Attr("error", err.Error())
+	}
+	sp.End()
+	mExperiments.Inc()
+	return res, err
 }
 
 // RunAll executes every experiment and returns the results in stable ID
@@ -132,6 +158,9 @@ func Run(id ID, opts Options) (Result, error) {
 // deduplicated by the systems package's singleflight cache, so the first
 // experiment to need a trace fits it and the rest wait for that fit.
 func RunAll(opts Options) ([]Result, error) {
+	mRunAll.Inc()
+	sp := obs.T().Start("phase", "run_all")
+	defer sp.End()
 	ids := IDs()
 	out := make([]Result, len(ids))
 	errs := make([]error, len(ids))

@@ -10,8 +10,16 @@ import (
 	"errors"
 	"fmt"
 
+	"nodevar/internal/obs"
 	"nodevar/internal/power"
 	"nodevar/internal/rng"
+)
+
+// Instrument metrics: one batched add per Measure call (the sampling
+// loop itself stays untouched).
+var (
+	mMeasures = obs.NewCounter("meter.measures")
+	mSamples  = obs.NewCounter("meter.samples")
 )
 
 // Spec describes an instrument model.
@@ -107,6 +115,8 @@ func (m *Meter) Measure(tr *power.Trace, a, b float64) (*power.Trace, error) {
 		out = append(out, power.Sample{Time: x, Power: m.reading(cur.At(x))})
 	}
 	out = append(out, power.Sample{Time: b, Power: m.reading(cur.At(b))})
+	mMeasures.Inc()
+	mSamples.Add(int64(len(out)))
 	return power.NewTrace(out)
 }
 

@@ -1,0 +1,54 @@
+package obs
+
+import "testing"
+
+// BenchmarkDisabledSpan is the nil-tracer fast path every
+// instrumentation site takes when tracing is off. The acceptance bar is
+// 0 B/op, 0 allocs/op.
+func BenchmarkDisabledSpan(b *testing.B) {
+	SetTracer(nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := T().Start("experiment", "bench")
+		sp.Attr("seed", "2015")
+		sp.End()
+	}
+}
+
+// BenchmarkEnabledSpan is the cost actually paid while tracing.
+func BenchmarkEnabledSpan(b *testing.B) {
+	tr := NewTracer(1024)
+	SetTracer(tr)
+	defer SetTracer(nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := T().Start("experiment", "bench")
+		sp.Attr("seed", "2015")
+		sp.End()
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	var c Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkCounterIncParallel(b *testing.B) {
+	var c Counter
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewHistogramBuckets([]float64{0.001, 0.01, 0.1, 1, 10})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i%100) / 10)
+	}
+}

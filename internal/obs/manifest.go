@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"os/exec"
+	"runtime"
+	"runtime/debug"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ManifestSchema identifies the manifest layout; bump on breaking
+// changes.
+const ManifestSchema = "nodevar/run-manifest/v1"
+
+// Manifest ties one command invocation to everything needed to
+// reproduce and audit it: the exact configuration, per-phase wall
+// times, and the final metric snapshot. Each figure or table recorded
+// in EXPERIMENTS.md references the manifest of the run that produced
+// it.
+type Manifest struct {
+	Schema    string `json:"schema"`
+	Command   string `json:"command"`
+	Args      []string `json:"args"`
+	Version   string `json:"version"`
+	GoVersion string `json:"go_version"`
+
+	Start       time.Time `json:"start"`
+	End         time.Time `json:"end"`
+	DurationSec float64   `json:"duration_sec"`
+
+	// Config is the command's effective configuration (seed, resolution,
+	// replicate counts, ...).
+	Config map[string]any `json:"config"`
+	// Phases are the tracer's aggregated span timings (empty when
+	// tracing was disabled).
+	Phases []PhaseTiming `json:"phases"`
+	// TraceDropped counts ring-buffer overwrites; nonzero means Phases
+	// undercounts early spans.
+	TraceDropped int64 `json:"trace_dropped,omitempty"`
+	// Metrics is the final snapshot of the default registry.
+	Metrics Snapshot `json:"metrics"`
+}
+
+// WriteJSON writes the manifest as indented JSON.
+func (m *Manifest) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}
+
+var (
+	versionOnce sync.Once
+	versionStr  string
+)
+
+// Version identifies the built source: the module build info's VCS
+// revision when the binary was built with VCS stamping, otherwise the
+// output of `git describe --always --dirty`, otherwise "unknown".
+func Version() string {
+	versionOnce.Do(func() {
+		versionStr = detectVersion()
+	})
+	return versionStr
+}
+
+func detectVersion() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		var rev, modified string
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				modified = s.Value
+			}
+		}
+		if rev != "" {
+			if len(rev) > 12 {
+				rev = rev[:12]
+			}
+			if modified == "true" {
+				rev += "-dirty"
+			}
+			return rev
+		}
+	}
+	// go test and -buildvcs=off binaries carry no VCS stamp; fall back
+	// to asking git directly.
+	out, err := exec.Command("git", "describe", "--always", "--dirty").Output()
+	if err == nil {
+		if v := strings.TrimSpace(string(out)); v != "" {
+			return v
+		}
+	}
+	return "unknown"
+}
+
+// NewManifest assembles a manifest for a finished run. tracer may be
+// nil; metrics come from the default registry.
+func NewManifest(command string, args []string, config map[string]any, start time.Time, tracer *Tracer) *Manifest {
+	end := time.Now()
+	m := &Manifest{
+		Schema:      ManifestSchema,
+		Command:     command,
+		Args:        args,
+		Version:     Version(),
+		GoVersion:   runtime.Version(),
+		Start:       start,
+		End:         end,
+		DurationSec: end.Sub(start).Seconds(),
+		Config:      config,
+		Metrics:     Default().Snapshot(),
+	}
+	if tracer != nil {
+		m.Phases = tracer.PhaseTimings()
+		m.TraceDropped = tracer.Dropped()
+	}
+	return m
+}

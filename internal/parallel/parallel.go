@@ -11,9 +11,36 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"nodevar/internal/obs"
 	"nodevar/internal/rng"
 )
+
+// Scheduler metrics. Utilization is cumulative worker-busy seconds over
+// cumulative worker-wall seconds (workers x call wall time): 1.0 means
+// every worker was busy for the whole call, lower values expose load
+// imbalance or stragglers. Timing is per worker per call — two clock
+// reads around an entire chunk of work — so the overhead is invisible
+// next to the work itself.
+var (
+	mParCalls = obs.NewCounter("parallel.calls")
+	mParItems = obs.NewCounter("parallel.items")
+	fParBusy  = obs.NewFloatCounter("parallel.worker_busy_seconds")
+	fParWall  = obs.NewFloatCounter("parallel.worker_wall_seconds")
+	gParUtil  = obs.NewGauge("parallel.utilization")
+)
+
+// observeCall records one completed parallel call's shape and refreshes
+// the cumulative utilization gauge.
+func observeCall(items, workers int, wall time.Duration) {
+	mParCalls.Inc()
+	mParItems.Add(int64(items))
+	fParWall.Add(wall.Seconds() * float64(workers))
+	if w := fParWall.Value(); w > 0 {
+		gParUtil.Set(fParBusy.Value() / w)
+	}
+}
 
 // Workers returns the degree of parallelism to use: the smaller of
 // GOMAXPROCS and n (never below 1). Passing n <= 0 means "no cap".
@@ -76,8 +103,12 @@ func ForChunked(n int, body func(r Range)) {
 		return
 	}
 	ranges := SplitRange(n, Workers(n))
+	t0 := time.Now()
 	if len(ranges) == 1 {
 		body(ranges[0])
+		wall := time.Since(t0)
+		fParBusy.Add(wall.Seconds())
+		observeCall(n, 1, wall)
 		return
 	}
 	var wg sync.WaitGroup
@@ -85,10 +116,13 @@ func ForChunked(n int, body func(r Range)) {
 	for _, r := range ranges {
 		go func(r Range) {
 			defer wg.Done()
+			tw := time.Now()
 			body(r)
+			fParBusy.Add(time.Since(tw).Seconds())
 		}(r)
 	}
 	wg.Wait()
+	observeCall(n, len(ranges), time.Since(t0))
 }
 
 // ForDynamic runs body(i) for every i in [0, n) with dynamic scheduling:
@@ -102,10 +136,14 @@ func ForDynamic(n int, body func(i int)) {
 		return
 	}
 	w := Workers(n)
+	t0 := time.Now()
 	if w == 1 {
 		for i := 0; i < n; i++ {
 			body(i)
 		}
+		wall := time.Since(t0)
+		fParBusy.Add(wall.Seconds())
+		observeCall(n, 1, wall)
 		return
 	}
 	var next atomic.Int64
@@ -114,9 +152,11 @@ func ForDynamic(n int, body func(i int)) {
 	for k := 0; k < w; k++ {
 		go func() {
 			defer wg.Done()
+			tw := time.Now()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
+					fParBusy.Add(time.Since(tw).Seconds())
 					return
 				}
 				body(i)
@@ -124,6 +164,7 @@ func ForDynamic(n int, body func(i int)) {
 		}()
 	}
 	wg.Wait()
+	observeCall(n, w, time.Since(t0))
 }
 
 // ForSeeded runs body(i, r) for every i in [0, n), where each worker chunk
@@ -140,18 +181,22 @@ func ForSeeded(n int, parent *rng.Rand, body func(i int, r *rng.Rand)) {
 	for i := range streams {
 		streams[i] = parent.Split()
 	}
+	t0 := time.Now()
 	var wg sync.WaitGroup
 	wg.Add(len(ranges))
 	for ci, r := range ranges {
 		go func(ci int, r Range) {
 			defer wg.Done()
+			tw := time.Now()
 			s := streams[ci]
 			for i := r.Lo; i < r.Hi; i++ {
 				body(i, s)
 			}
+			fParBusy.Add(time.Since(tw).Seconds())
 		}(ci, r)
 	}
 	wg.Wait()
+	observeCall(n, len(ranges), time.Since(t0))
 }
 
 // ForSeededChunks divides [0, n) into exactly chunks ranges (fewer if
@@ -171,17 +216,22 @@ func ForSeededChunks(n, chunks int, parent *rng.Rand, body func(r Range, stream 
 	for i := range streams {
 		streams[i] = parent.Split()
 	}
-	sem := make(chan struct{}, Workers(len(ranges)))
+	workers := Workers(len(ranges))
+	t0 := time.Now()
+	sem := make(chan struct{}, workers)
 	var wg sync.WaitGroup
 	wg.Add(len(ranges))
 	for ci, r := range ranges {
 		sem <- struct{}{}
 		go func(ci int, r Range) {
 			defer func() { <-sem; wg.Done() }()
+			tw := time.Now()
 			body(r, streams[ci])
+			fParBusy.Add(time.Since(tw).Seconds())
 		}(ci, r)
 	}
 	wg.Wait()
+	observeCall(n, workers, time.Since(t0))
 }
 
 // MapReduceFloat64 computes a parallel map over [0, n) followed by a

@@ -5,7 +5,26 @@ import (
 	"fmt"
 	"sort"
 	"sync/atomic"
+
+	"nodevar/internal/obs"
 )
+
+// Trace metrics. Cursor reads are the fast path (amortized-O(1) forward
+// walk); Trace.At reads are the slow path (a binary search each call).
+// Cursor reads are batched into the counter every cursorReadFlush reads
+// so the hottest loop in the codebase pays one atomic add per batch, not
+// per sample; the reported total is therefore a slight undercount (up to
+// cursorReadFlush-1 per cursor).
+var (
+	mIndexBuilds  = obs.NewCounter("power.trace.index_builds")
+	mAtSlowReads  = obs.NewCounter("power.trace.at_slowpath_reads")
+	mCursors      = obs.NewCounter("power.trace.cursors")
+	mCursorReads  = obs.NewCounter("power.trace.cursor_fastpath_reads")
+)
+
+// cursorReadFlush is the cursor-read batch size (a power of two so the
+// flush test compiles to a mask).
+const cursorReadFlush = 256
 
 // Trace is a power-versus-time series with strictly increasing timestamps.
 // Between samples the power is treated as piecewise linear, which is how
@@ -44,6 +63,7 @@ func (t *Trace) index() *energyIndex {
 	}
 	e := &energyIndex{prefix: prefix}
 	t.idx.Store(e)
+	mIndexBuilds.Inc()
 	return e
 }
 
@@ -125,6 +145,7 @@ func (t *Trace) At(x float64) Watts {
 	if n == 0 {
 		panic("power: empty trace")
 	}
+	mAtSlowReads.Inc()
 	if x <= t.samples[0].Time {
 		return t.samples[0].Power
 	}
@@ -145,6 +166,9 @@ type Cursor struct {
 	// i is the index of the first sample with Time >= the previous query
 	// (the interpolation upper bound).
 	i int
+	// reads counts At calls locally; every cursorReadFlush reads are
+	// flushed to the shared counter in one atomic add.
+	reads int
 }
 
 // Cursor returns a sequential reader positioned at the trace start.
@@ -152,6 +176,7 @@ func (t *Trace) Cursor() *Cursor {
 	if len(t.samples) == 0 {
 		panic("power: empty trace")
 	}
+	mCursors.Inc()
 	return &Cursor{t: t}
 }
 
@@ -159,6 +184,10 @@ func (t *Trace) Cursor() *Cursor {
 // >= the previous query's time. Outside the trace span it clamps like
 // Trace.At.
 func (c *Cursor) At(x float64) Watts {
+	c.reads++
+	if c.reads&(cursorReadFlush-1) == 0 {
+		mCursorReads.Add(cursorReadFlush)
+	}
 	s := c.t.samples
 	n := len(s)
 	if x <= s[0].Time {

@@ -5,11 +5,25 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 	"sync"
+	"time"
 
+	"nodevar/internal/obs"
 	"nodevar/internal/parallel"
 	"nodevar/internal/rng"
 	"nodevar/internal/stats"
+)
+
+// Bootstrap metrics: replicate throughput is the headline number (the
+// paper ran 100000 replicates per point), chunk seconds expose
+// stragglers in the deterministic parallel decomposition.
+var (
+	mBootStudies    = obs.NewCounter("sampling.bootstrap.studies")
+	mBootReplicates = obs.NewCounter("sampling.bootstrap.replicates")
+	gBootRate       = obs.NewGauge("sampling.bootstrap.replicates_per_sec")
+	hBootChunk      = obs.NewHistogram("sampling.bootstrap.chunk_seconds",
+		[]float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5})
 )
 
 // CoverageConfig describes a Figure-3 style bootstrap calibration study.
@@ -110,6 +124,12 @@ func CoverageStudy(cfg CoverageConfig) ([]CoveragePoint, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	mBootStudies.Inc()
+	sp := obs.T().Start("phase", "coverage_study")
+	sp.Attr("replicates", strconv.Itoa(cfg.Replicates))
+	sp.Attr("population", strconv.Itoa(cfg.Population))
+	defer sp.End()
+	tStudy := time.Now()
 	chunks := cfg.Chunks
 	if chunks <= 0 {
 		chunks = 64
@@ -143,6 +163,7 @@ func CoverageStudy(cfg CoverageConfig) ([]CoveragePoint, error) {
 	var mu sync.Mutex
 
 	parallel.ForSeededChunks(cfg.Replicates, chunks, root, func(r parallel.Range, stream *rng.Rand) {
+		tChunk := time.Now()
 		machine := make([]float64, cfg.Population)
 		localHits := make([]int64, nSizes*nLevels)
 		localWidth := make([]float64, nSizes*nLevels)
@@ -187,7 +208,12 @@ func CoverageStudy(cfg CoverageConfig) ([]CoveragePoint, error) {
 		}
 		parts = append(parts, widthPart{lo: r.Lo, widths: localWidth})
 		mu.Unlock()
+		hBootChunk.Observe(time.Since(tChunk).Seconds())
+		mBootReplicates.Add(int64(r.Hi - r.Lo))
 	})
+	if elapsed := time.Since(tStudy).Seconds(); elapsed > 0 {
+		gBootRate.Set(float64(cfg.Replicates) / elapsed)
+	}
 
 	// Reduce partial widths in chunk order for a scheduling-independent
 	// floating-point sum.

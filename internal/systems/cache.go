@@ -1,10 +1,25 @@
 package systems
 
 import (
+	"strconv"
 	"sync"
+	"time"
 
 	"nodevar/internal/hpl"
+	"nodevar/internal/obs"
 	"nodevar/internal/power"
+)
+
+// Cache metrics: hits are calls served without running a fit (including
+// concurrent waiters piggybacking on an in-flight one), misses are the
+// calls that ran the fit.
+var (
+	mCalHits      = obs.NewCounter("systems.calibration_cache.hits")
+	mCalMisses    = obs.NewCounter("systems.calibration_cache.misses")
+	mCalResets    = obs.NewCounter("systems.calibration_cache.resets")
+	mCalEvictions = obs.NewCounter("systems.calibration_cache.evictions")
+	hCalFit       = obs.NewHistogram("systems.calibration.fit_seconds",
+		[]float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10})
 )
 
 // The calibration cache. Fitting a system trace runs thousands of
@@ -56,17 +71,30 @@ func CalibratedTrace(s Spec, samples int) (*power.Trace, *Calibration, error) {
 	k := calKey{key: s.Key, samples: samples, targets: *s.Trace, hpl: s.HPL}
 	v, _ := calCache.LoadOrStore(k, &calEntry{})
 	e := v.(*calEntry)
+	fitted := false
 	e.once.Do(func() {
+		fitted = true
+		mCalMisses.Inc()
+		sp := obs.T().Start("calibration", s.Key)
+		sp.Attr("samples", strconv.Itoa(samples))
+		t0 := time.Now()
 		e.tr, e.cal, e.err = CalibratedTraceUncached(s, samples)
+		hCalFit.Observe(time.Since(t0).Seconds())
+		sp.End()
 	})
+	if !fitted {
+		mCalHits.Inc()
+	}
 	return e.tr, e.cal, e.err
 }
 
 // ResetCalibrationCache drops every memoized calibration. It exists for
 // benchmarks and tests that need to measure or exercise the cold path.
 func ResetCalibrationCache() {
+	mCalResets.Inc()
 	calCache.Range(func(k, _ any) bool {
 		calCache.Delete(k)
+		mCalEvictions.Inc()
 		return true
 	})
 }
