@@ -1,7 +1,11 @@
 GO ?= go
 TRACE_OUT ?= trace.json
+FUZZTIME ?= 10s
+COVER_FLOOR ?= 80
+CHAOS_SEEDS ?= 8
+CHAOS_FAULTS ?= drop=0.02,stuck=0.01,glitch=0.01,jitter=0.1,meterdrop=0.05,nodedrop=0.15
 
-.PHONY: build test vet race race-obs check bench trace repro
+.PHONY: build test vet race race-obs check bench trace repro fuzz-smoke cover-check chaos
 
 build:
 	$(GO) build ./...
@@ -21,9 +25,35 @@ race:
 race-obs:
 	$(GO) test -race ./internal/obs/...
 
-# The full pre-commit gate: vet, build, and the test suite under the
-# race detector.
-check: vet build race-obs race
+# Smoke-run the fuzz targets guarding the numeric core (sample-size
+# planning, confidence intervals) and the trace parser/gap-tolerant
+# integration against gappy and NaN-laden inputs. go test accepts one
+# -fuzz target per invocation, hence the separate runs.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzReadCSV -fuzztime=$(FUZZTIME) ./internal/power
+	$(GO) test -run='^$$' -fuzz=FuzzTolerantEnergy -fuzztime=$(FUZZTIME) ./internal/power
+	$(GO) test -run='^$$' -fuzz=FuzzPlanSampleSize -fuzztime=$(FUZZTIME) ./internal/sampling
+	$(GO) test -run='^$$' -fuzz=FuzzMeanCI -fuzztime=$(FUZZTIME) ./internal/stats
+
+# Coverage floor for the fault-injection layer and the power core it
+# hardens: these packages carry the never-a-silent-wrong-answer
+# guarantees, so their tests must stay comprehensive.
+cover-check:
+	@for pkg in ./internal/faults ./internal/power; do \
+	  pct=$$($(GO) test -count=1 -cover $$pkg | awk '{for(i=1;i<=NF;i++) if ($$i ~ /%/) {gsub("%","",$$i); print $$i}}'); \
+	  echo "$$pkg coverage: $$pct% (floor $(COVER_FLOOR)%)"; \
+	  awk -v p="$$pct" -v f="$(COVER_FLOOR)" 'BEGIN{exit !(p+0 >= f)}' || { echo "FAIL: $$pkg below the $(COVER_FLOOR)% coverage floor"; exit 1; }; \
+	done
+
+# The chaos gate: the harness invariants under the race detector, then
+# the chaos command replaying the reference schedule across seeds.
+chaos:
+	$(GO) test -race -count=1 ./internal/faults/...
+	$(GO) run ./cmd/chaos -seeds $(CHAOS_SEEDS) -faults "$(CHAOS_FAULTS)"
+
+# The full pre-commit gate: vet, build, the test suite under the race
+# detector, fuzz smoke, and the coverage floor.
+check: vet build race-obs race fuzz-smoke cover-check
 
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem .

@@ -12,10 +12,10 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log/slog"
 	"os"
 
 	"nodevar/internal/cli"
+	"nodevar/internal/faults"
 	"nodevar/internal/methodology"
 	"nodevar/internal/power"
 	"nodevar/internal/report"
@@ -24,14 +24,20 @@ import (
 
 func main() {
 	var (
-		system   = flag.String("system", "lcsc", "system key (see -list)")
-		samples  = flag.Int("samples", 2000, "trace resolution")
-		csvPath  = flag.String("csv", "", "write the trace as CSV to this path")
-		list     = flag.Bool("list", false, "list available systems")
-		analyze  = flag.String("analyze", "", "analyze a time,power CSV trace instead of simulating")
-		obsFlags = cli.RegisterObsFlags()
+		system     = flag.String("system", "lcsc", "system key (see -list)")
+		samples    = flag.Int("samples", 2000, "trace resolution")
+		csvPath    = flag.String("csv", "", "write the trace as CSV to this path")
+		list       = flag.Bool("list", false, "list available systems")
+		analyze    = flag.String("analyze", "", "analyze a time,power CSV trace instead of simulating")
+		obsFlags   = cli.RegisterObsFlags()
+		faultFlags = cli.RegisterFaultFlags()
 	)
 	flag.Parse()
+
+	sched, err := faultFlags.Schedule()
+	if err != nil {
+		fatal(err)
+	}
 
 	run, err := obsFlags.Start("powersim")
 	if err != nil {
@@ -39,6 +45,9 @@ func main() {
 	}
 	run.SetConfig("system", *system)
 	run.SetConfig("samples", *samples)
+	if !sched.IsZero() {
+		run.SetConfig("faults", sched.String())
+	}
 	finish := func() {
 		if err := run.Finish(); err != nil {
 			fatal(err)
@@ -47,7 +56,7 @@ func main() {
 
 	if *analyze != "" {
 		run.SetConfig("analyze", *analyze)
-		if err := analyzeCSV(*analyze, run.Log); err != nil {
+		if err := analyzeCSV(*analyze, sched, run); err != nil {
 			fatal(err)
 		}
 		finish()
@@ -78,6 +87,21 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	// Fault injection: with a zero schedule Apply returns tr itself and
+	// Sanitize is skipped, so the fault-free output is byte-identical to
+	// a run without -faults.
+	tr, frep, err := sched.Apply(tr)
+	if err != nil {
+		fatal(err)
+	}
+	sanitized := 0
+	if frep.Injected() {
+		tr, sanitized, err = tr.Sanitize()
+		if err != nil {
+			fatal(err)
+		}
+		run.SetFaults(frep.ManifestSection())
+	}
 	rep, err := power.Segments(tr)
 	if err != nil {
 		fatal(err)
@@ -97,6 +121,7 @@ func main() {
 	}
 	fmt.Printf("  Level-1 gaming:     best window [%.0f s, %.0f s] reports %.1f%% less power (+%.1f%% efficiency)\n",
 		gaming.WindowLo, gaming.WindowHi, gaming.PowerReduction*100, gaming.EfficiencyGain*100)
+	printDegraded(frep, sanitized)
 
 	if *csvPath != "" {
 		f, err := os.Create(*csvPath)
@@ -131,14 +156,33 @@ const minWindowSamples = 10
 // time,power CSV trace — the same analysis the paper applies to the
 // Green500's published run data. It reports the trace's sampling
 // cadence and warns when the trace is too coarse to resolve a 20%
-// Level-1 measurement window.
-func analyzeCSV(path string, log *slog.Logger) error {
+// Level-1 measurement window. A non-zero fault schedule corrupts the
+// trace before analysis (replaying a chaos scenario against real data);
+// degraded input — injected or present in the CSV itself as NaN
+// readings or sampling gaps — is flagged, never silently analyzed as
+// clean.
+func analyzeCSV(path string, sched faults.Schedule, run *cli.Run) error {
+	log := run.Log
 	f, err := os.Open(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
 	tr, err := power.ReadCSV(f)
+	if err != nil {
+		return err
+	}
+	tr, frep, err := sched.Apply(tr)
+	if err != nil {
+		return err
+	}
+	if frep.Injected() {
+		run.SetFaults(frep.ManifestSection())
+	}
+	// Real collectors emit NaN glitches too; drop them so the analysis
+	// can proceed, and report the loss below. A clean trace passes
+	// through untouched (the same pointer).
+	tr, sanitized, err := tr.Sanitize()
 	if err != nil {
 		return err
 	}
@@ -172,6 +216,25 @@ func analyzeCSV(path string, log *slog.Logger) error {
 			"min_samples_per_window", minWindowSamples)
 	}
 
+	// Gap-aware completeness: treat anything over 5x the mean cadence as
+	// a data gap (a dropped-sample window, not just slow sampling). The
+	// tolerant query delegates to the exact fast path when the trace has
+	// no gaps, so clean traces produce byte-identical reports.
+	_, wq, err := tr.AverageBetweenTolerant(tr.Start(), tr.End(), 5*meanInterval)
+	if err != nil {
+		return err
+	}
+	degradedInput := wq.Gaps > 0 || sanitized > 0 || frep.Injected()
+	if degradedInput {
+		fmt.Printf("  data quality:       %.1f%% complete (%d gaps, longest %.1f s, %d non-finite readings removed)\n",
+			wq.Completeness*100, wq.Gaps, wq.LongestGap, sanitized)
+		log.Warn("trace is incomplete; all figures are best-effort estimates",
+			"completeness", wq.Completeness,
+			"gaps", wq.Gaps,
+			"longest_gap_s", wq.LongestGap,
+			"sanitized", sanitized)
+	}
+
 	fmt.Printf("  core-phase power:   %s\n", rep.Core)
 	fmt.Printf("  first 20%%:          %s\n", rep.First20)
 	fmt.Printf("  last 20%%:           %s\n", rep.Last20)
@@ -182,5 +245,19 @@ func analyzeCSV(path string, log *slog.Logger) error {
 	}
 	fmt.Printf("  Level-1 gaming:     best window [%.0f s, %.0f s] reports %.1f%% less power (+%.1f%% efficiency)\n",
 		gaming.WindowLo, gaming.WindowHi, gaming.PowerReduction*100, gaming.EfficiencyGain*100)
+	printDegraded(frep, sanitized)
 	return nil
+}
+
+// printDegraded appends the degraded-measurement statement when faults
+// were injected. Fault-free runs print nothing, keeping their output
+// byte-identical to a build without fault injection.
+func printDegraded(frep *faults.Report, sanitized int) {
+	if frep == nil || !frep.Injected() {
+		return
+	}
+	fmt.Printf("  faults injected:    %s\n", frep.Schedule)
+	fmt.Printf("  DEGRADED:           completeness %.1f%% (%d samples dropped, %d stuck, %d glitched, %d removed as non-finite) — figures above are best-effort estimates\n",
+		frep.Completeness*100, frep.DroppedSamples, frep.StuckSamples,
+		frep.GlitchNaN+frep.GlitchSpike, sanitized)
 }

@@ -76,6 +76,14 @@ type Run struct {
 	cmd    string
 	start  time.Time
 	config map[string]any
+	faults *obs.FaultsSection
+}
+
+// SetFaults records the run's fault-injection outcome for the manifest's
+// v2 "faults" section. A nil section (fault-free run) leaves the
+// manifest without one.
+func (r *Run) SetFaults(f *obs.FaultsSection) {
+	r.faults = f
 }
 
 // Start validates the flags and opens an observed run: it builds the
@@ -146,6 +154,7 @@ func (r *Run) Finish() error {
 	}
 	if p := r.flags.manifestPath(); p != "" {
 		m := obs.NewManifest(r.cmd, os.Args[1:], r.config, r.start, r.Tracer)
+		m.Faults = r.faults
 		fail(writeFile(p, m.WriteJSON))
 		r.Log.Debug("run manifest written", "path", p, "version", m.Version)
 	}

@@ -1,0 +1,294 @@
+// Package chaostest is the chaos-test harness for the measurement
+// pipeline: it runs one end-to-end scenario — simulate a cluster, inject
+// a fault schedule into its power data and node population, then analyze
+// the damaged measurement with the gap-tolerant and best-effort paths —
+// and returns a fully deterministic Outcome. The invariants the test
+// suite asserts over it:
+//
+//  1. A zero fault schedule is invisible: the degraded pipeline returns
+//     results bit-identical to the healthy fast path.
+//  2. The same scenario replays byte-identically from its seed.
+//  3. Any run that lost data is flagged degraded, with its completeness.
+//  4. Never a silent wrong answer: whenever the degraded estimate
+//     differs from the healthy one, the outcome says so.
+package chaostest
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+
+	"nodevar/internal/cluster"
+	"nodevar/internal/faults"
+	"nodevar/internal/meter"
+	"nodevar/internal/methodology"
+	"nodevar/internal/power"
+	"nodevar/internal/rng"
+)
+
+// Scenario is one chaos experiment: a small simulated machine plus the
+// fault schedule to unleash on its measurement.
+type Scenario struct {
+	// Nodes is the cluster size (default 16).
+	Nodes int
+	// DurationSec is the core-phase length (default 600).
+	DurationSec float64
+	// Util is the constant machine utilization (default 0.8).
+	Util float64
+	// Schedule is the fault schedule; its seed also seeds the cluster,
+	// so one integer reproduces the whole scenario.
+	Schedule faults.Schedule
+}
+
+func (sc Scenario) withDefaults() Scenario {
+	if sc.Nodes == 0 {
+		sc.Nodes = 16
+	}
+	if sc.DurationSec == 0 {
+		sc.DurationSec = 600
+	}
+	if sc.Util == 0 {
+		sc.Util = 0.8
+	}
+	return sc
+}
+
+// Outcome is everything a scenario produced, deterministic in the
+// scenario. Text is a fixed rendering for byte-for-byte replay checks.
+type Outcome struct {
+	// HealthyAvg is the fault-free whole-system average wall power.
+	HealthyAvg power.Watts
+	// DegradedAvg is the best-effort estimate after fault injection:
+	// node outages retired from the aggregation, trace faults sanitized
+	// and integrated gap-tolerantly.
+	DegradedAvg power.Watts
+	// Report accounts for every injected fault.
+	Report *faults.Report
+	// Quality is the node-aggregation quality under outages.
+	Quality cluster.AggregateQuality
+	// WindowQuality is the trace-level gap accounting of the damaged
+	// measurement.
+	WindowQuality power.WindowQuality
+	// Assessment is the methodology accuracy statement, carrying the
+	// degraded-confidence flag.
+	Assessment methodology.Assessment
+	// Completeness is the overall data completeness: the minimum across
+	// the trace and node layers.
+	Completeness float64
+	// Degraded reports that the measurement lost or corrupted data.
+	Degraded bool
+}
+
+// Text renders the outcome deterministically for replay comparison.
+func (o *Outcome) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "healthy_avg_w=%.6f\n", float64(o.HealthyAvg))
+	fmt.Fprintf(&b, "degraded_avg_w=%.6f\n", float64(o.DegradedAvg))
+	fmt.Fprintf(&b, "completeness=%.6f degraded=%v nodes_lost=%d gaps=%d\n",
+		o.Completeness, o.Degraded, o.Quality.NodesLost, o.WindowQuality.Gaps)
+	fmt.Fprintf(&b, "assessment: %s\n", o.Assessment)
+	b.WriteString(o.Report.String())
+	return b.String()
+}
+
+// chaosModel is the fixed node preset every scenario simulates.
+func chaosModel() cluster.NodeModel {
+	return cluster.NodeModel{
+		IdleWatts:        150,
+		DynamicWatts:     250,
+		ThermalTau:       120,
+		TempRiseIdle:     10,
+		TempRiseLoad:     45,
+		LeakagePerDegree: 0.001,
+		Fan:              cluster.NewAutoFan(15, 120, 30, 70),
+		PSU:              cluster.PSUModel{RatedWatts: 800, PeakEff: 0.94, LowLoadEff: 0.8, Knee: 0.3},
+	}
+}
+
+// constLoad is a constant-utilization workload.
+type constLoad struct{ dur, util float64 }
+
+func (l constLoad) CoreDuration() float64       { return l.dur }
+func (l constLoad) Utilization(float64) float64 { return l.util }
+
+// Run executes the scenario. Everything downstream of the cluster
+// simulation exercises the degradation-tolerant pipeline; with a zero
+// schedule every stage is a strict pass-through and the outcome's
+// degraded estimate is bit-identical to the healthy one.
+func Run(sc Scenario) (*Outcome, error) {
+	sc = sc.withDefaults()
+	if err := sc.Schedule.Validate(); err != nil {
+		return nil, err
+	}
+
+	// Simulate the machine. The cluster seed derives from the schedule
+	// seed so a single integer replays the scenario.
+	c, err := cluster.New("chaos", sc.Nodes, chaosModel(),
+		cluster.Variation{IdleCV: 0.01, DynamicCV: 0.025, FanCV: 0.05, OutlierFraction: 0.01},
+		22, rng.New(sc.Schedule.Seed^0x9e3779b97f4a7c15))
+	if err != nil {
+		return nil, err
+	}
+	res, err := cluster.Run(c, constLoad{dur: sc.DurationSec, util: sc.Util}, cluster.RunOptions{SamplePeriod: 1})
+	if err != nil {
+		return nil, err
+	}
+
+	out := &Outcome{Completeness: 1}
+	out.HealthyAvg, err = res.System.Average()
+	if err != nil {
+		return nil, err
+	}
+
+	// Layer 1: whole-node dropouts retire nodes from the aggregation.
+	outages := sc.Schedule.NodeOutages(sc.Nodes, res.Duration)
+	clusterOut := make([]cluster.NodeOutage, len(outages))
+	for i, o := range outages {
+		clusterOut[i] = cluster.NodeOutage{Node: o.Node, At: o.At}
+	}
+	nodeAvg, quality, err := res.BestEffortAverage(clusterOut)
+	if err != nil {
+		return nil, err
+	}
+	out.Quality = quality
+
+	// Layer 2: trace-level faults corrupt the aggregated measurement.
+	tr, rep, err := sc.Schedule.Apply(res.System)
+	if err != nil {
+		return nil, err
+	}
+	rep.NodesDropped = len(outages)
+	out.Report = rep
+	clean, _, err := tr.Sanitize()
+	if err != nil {
+		return nil, err
+	}
+
+	// Layer 3: gap-tolerant integration of whatever survived. maxGap of
+	// 3 s flags any dropped-sample window (the simulation samples at
+	// 1 Hz) without tripping on the healthy cadence.
+	traceAvg, wq, err := clean.AverageBetweenTolerant(clean.Start(), clean.End(), 3)
+	if err != nil {
+		return nil, err
+	}
+	out.WindowQuality = wq
+
+	// The degraded estimate: the trace-layer average corrected by the
+	// node layer's extrapolation ratio. With no faults both ratios are
+	// exactly 1 and traceAvg IS the healthy average (same trace pointer,
+	// same fast path), keeping the no-fault path bit-identical.
+	out.DegradedAvg = traceAvg
+	if quality.NodesLost > 0 {
+		out.DegradedAvg = power.Watts(float64(traceAvg) * float64(nodeAvg) / float64(out.HealthyAvg))
+	}
+
+	out.Completeness = math.Min(rep.Completeness, math.Min(quality.Completeness, wq.Completeness))
+	out.Degraded = rep.Injected() || quality.NodesLost > 0 || wq.Gaps > 0
+	out.Assessment = methodology.Assessment{
+		Confidence:      0.95,
+		TimeBiasBounded: true,
+	}.WithCompleteness(out.Completeness)
+	if out.Degraded && !out.Assessment.Degraded {
+		// Faults landed without losing trace time (stuck sensors,
+		// spikes, jitter): still not a clean measurement.
+		out.Assessment.Degraded = true
+		out.Assessment.DataCompleteness = out.Completeness
+	}
+	return out, nil
+}
+
+// PoolOutcome is the distributed-metering scenario's result: a pool of
+// flaky instruments measuring disjoint shares of the system, summed
+// best-effort.
+type PoolOutcome struct {
+	// PoolAvg is the best-effort summed average (zero when GaveUp).
+	PoolAvg power.Watts
+	// Pool reports how many instruments delivered.
+	Pool meter.PoolCompleteness
+	// GaveUp reports the loud failure mode: every instrument exhausted
+	// its retry budget and the measurement failed with an error.
+	GaveUp bool
+	// Degraded reports partial data (some instruments failed).
+	Degraded bool
+	// Stats merges the per-instrument dropout accounting.
+	Stats faults.Report
+}
+
+// Text renders the pool outcome deterministically.
+func (o *PoolOutcome) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "pool_avg_w=%.6f gave_up=%v degraded=%v\n", float64(o.PoolAvg), o.GaveUp, o.Degraded)
+	fmt.Fprintf(&b, "instruments=%d failed=%d fraction=%.4f\n",
+		o.Pool.Instruments, o.Pool.Failed, o.Pool.Fraction)
+	fmt.Fprintf(&b, "meter: %d failures, %d retries, %d give-ups\n",
+		o.Stats.MeterFailures, o.Stats.MeterRetries, o.Stats.MeterGiveUps)
+	return b.String()
+}
+
+// RunPool simulates the scenario's machine and measures its power with a
+// pool of `instruments` flaky meters, each metering an equal share of the
+// system (the distributed-PDU topology). Failed instruments are skipped
+// and the sum extrapolated; when every instrument fails the measurement
+// errors loudly and GaveUp is set instead of returning a number.
+func RunPool(sc Scenario, instruments int) (*PoolOutcome, error) {
+	sc = sc.withDefaults()
+	if err := sc.Schedule.Validate(); err != nil {
+		return nil, err
+	}
+	if instruments <= 0 {
+		return nil, errors.New("chaostest: need at least one instrument")
+	}
+	c, err := cluster.New("chaos-pool", sc.Nodes, chaosModel(),
+		cluster.Variation{IdleCV: 0.01, DynamicCV: 0.025, FanCV: 0.05, OutlierFraction: 0.01},
+		22, rng.New(sc.Schedule.Seed^0x9e3779b97f4a7c15))
+	if err != nil {
+		return nil, err
+	}
+	res, err := cluster.Run(c, constLoad{dur: sc.DurationSec, util: sc.Util}, cluster.RunOptions{SamplePeriod: 1})
+	if err != nil {
+		return nil, err
+	}
+
+	// Split the system trace into equal instrument shares and wrap each
+	// meter with the schedule's dropout model, one split stream per
+	// instrument so the pool replays from the single seed.
+	share := power.Watts(1) / power.Watts(instruments)
+	traces := make([]*power.Trace, instruments)
+	insts := make([]meter.Instrument, instruments)
+	flaky := make([]*faults.FlakyMeter, instruments)
+	meterRng := rng.New(sc.Schedule.Seed ^ 0x2545f4914f6cdd1d)
+	faultStream := sc.Schedule.MeterStream()
+	for i := 0; i < instruments; i++ {
+		traces[i], err = res.System.Map(func(_ float64, p power.Watts) power.Watts {
+			return p * share
+		})
+		if err != nil {
+			return nil, err
+		}
+		m, err := meter.New(meter.Spec{GainErrorCV: 0.002, SamplePeriod: 1}, meterRng.Split())
+		if err != nil {
+			return nil, err
+		}
+		f := sc.Schedule.WrapMeter(m, faultStream.Split())
+		flaky[i] = f
+		insts[i] = f
+	}
+
+	out := &PoolOutcome{}
+	avg, comp, err := meter.AverageSumBestEffort(insts, traces, res.System.Start(), res.System.End())
+	out.Pool = comp
+	for _, f := range flaky {
+		st := f.Stats()
+		out.Stats.Merge(&st)
+	}
+	if err != nil {
+		// The loud failure mode: no usable number, an explicit error.
+		out.GaveUp = true
+		out.Degraded = true
+		return out, nil
+	}
+	out.PoolAvg = avg
+	out.Degraded = comp.Failed > 0
+	return out, nil
+}

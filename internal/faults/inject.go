@@ -1,0 +1,154 @@
+package faults
+
+import (
+	"math"
+
+	"nodevar/internal/power"
+)
+
+// Apply runs the schedule's trace-level injectors over tr and returns
+// the corrupted trace plus the injection report. Fault classes compose
+// in a fixed order — clock jitter, stuck windows, glitches,
+// quantization, sample drops — each driven by its own seed-derived
+// stream, so enabling one class never changes another's decisions.
+//
+// A zero schedule returns tr itself (the same pointer) with an empty
+// report: the no-fault path is byte-identical to not calling Apply at
+// all. The first and last samples are never dropped, so the trace span
+// is preserved and windowed queries against it stay valid.
+func (s Schedule) Apply(tr *power.Trace) (*power.Trace, *Report, error) {
+	if err := s.Validate(); err != nil {
+		return nil, nil, err
+	}
+	rep := &Report{
+		Seed:         s.Seed,
+		Schedule:     s.String(),
+		SamplesIn:    tr.Len(),
+		SamplesOut:   tr.Len(),
+		Completeness: 1,
+	}
+	if s.IsZero() {
+		return tr, rep, nil
+	}
+	s = s.withDefaults()
+	st := s.streams()
+
+	in := tr.Samples()
+	samples := make([]power.Sample, len(in))
+	copy(samples, in)
+
+	// Clock jitter: perturb interior timestamps, preserving strict
+	// monotonicity against the already-jittered predecessor and the
+	// original successor.
+	if s.ClockJitter > 0 {
+		for i := 1; i < len(samples)-1; i++ {
+			dt := samples[i].Time - samples[i-1].Time
+			if next := in[i+1].Time - in[i].Time; next < dt {
+				dt = next
+			}
+			delta := st.jitter.Normal(0, s.ClockJitter*dt)
+			t := in[i].Time + delta
+			lo := samples[i-1].Time + 1e-9
+			hi := in[i+1].Time - 1e-9
+			if t <= lo {
+				t = lo
+			}
+			if t >= hi {
+				t = hi
+			}
+			if t != samples[i].Time {
+				samples[i].Time = t
+				rep.JitteredSamples++
+			}
+		}
+	}
+
+	// Stuck windows: the sensor freezes at its current value for
+	// StuckSec.
+	if s.StuckRate > 0 {
+		stuckUntil := math.Inf(-1)
+		var frozen power.Watts
+		for i := range samples {
+			if samples[i].Time <= stuckUntil {
+				samples[i].Power = frozen
+				rep.StuckSamples++
+				continue
+			}
+			if st.stuck.Bernoulli(s.StuckRate) {
+				stuckUntil = samples[i].Time + s.StuckSec
+				frozen = samples[i].Power
+				rep.StuckWindows++
+			}
+		}
+	}
+
+	// Glitches: NaN or spike.
+	if s.GlitchRate > 0 {
+		for i := range samples {
+			if !st.glitch.Bernoulli(s.GlitchRate) {
+				continue
+			}
+			if st.glitch.Float64() < s.NaNFraction {
+				samples[i].Power = power.Watts(math.NaN())
+				rep.GlitchNaN++
+			} else {
+				samples[i].Power *= power.Watts(s.SpikeFactor)
+				rep.GlitchSpike++
+			}
+		}
+	}
+
+	// Coarse re-quantization (on top of the instrument model's own).
+	if q := s.QuantizeWatts; q > 0 {
+		for i := range samples {
+			v := float64(samples[i].Power)
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			samples[i].Power = power.Watts(math.Round(v/q) * q)
+			rep.QuantizedSamples++
+		}
+	}
+
+	// Drop windows: the meter goes quiet for DropWindowSec. Endpoints
+	// are kept so the trace span survives.
+	if s.SampleDropRate > 0 {
+		out := samples[:0]
+		dropUntil := math.Inf(-1)
+		var droppedTime float64
+		for i, smp := range samples {
+			if i == 0 || i == len(samples)-1 {
+				out = append(out, smp)
+				continue
+			}
+			if smp.Time <= dropUntil {
+				rep.DroppedSamples++
+				droppedTime += smp.Time - samples[i-1].Time
+				continue
+			}
+			if st.drop.Bernoulli(s.SampleDropRate) {
+				dropUntil = smp.Time + s.DropWindowSec
+				rep.DropWindows++
+				rep.DroppedSamples++
+				droppedTime += smp.Time - samples[i-1].Time
+				continue
+			}
+			out = append(out, smp)
+		}
+		samples = out
+		if span := tr.End() - tr.Start(); span > 0 {
+			rep.Completeness = 1 - droppedTime/span
+			if rep.Completeness < 0 {
+				rep.Completeness = 0
+			}
+		}
+	}
+
+	rep.SamplesOut = len(samples)
+	faulty, err := power.NewTrace(samples)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep.publish()
+	return faulty, rep, nil
+}

@@ -1,0 +1,78 @@
+package faults
+
+import (
+	"errors"
+
+	"nodevar/internal/meter"
+	"nodevar/internal/power"
+	"nodevar/internal/rng"
+)
+
+// ErrMeterDropout is returned when a wrapped meter exhausts its retry
+// budget without a successful read.
+var ErrMeterDropout = errors.New("faults: meter dropped out (retry budget exhausted)")
+
+// FlakyMeter wraps an instrument with transient dropout: each read
+// attempt fails with the schedule's MeterDropRate and is retried with
+// exponential backoff (simulated — backoff time is accounted, never
+// slept) up to MeterRetries times before the measurement is abandoned.
+// It implements meter.Instrument.
+type FlakyMeter struct {
+	inner    meter.Instrument
+	r        *rng.Rand
+	dropRate float64
+	retries  int
+	backoff  float64
+
+	stats Report
+}
+
+// WrapMeter wraps inst with this schedule's dropout behaviour, drawing
+// failure decisions from r (callers wrap a pool deterministically by
+// splitting one meter stream per instrument — see MeterStream).
+func (s Schedule) WrapMeter(inst meter.Instrument, r *rng.Rand) *FlakyMeter {
+	d := s.withDefaults()
+	return &FlakyMeter{
+		inner:    inst,
+		r:        r,
+		dropRate: d.MeterDropRate,
+		retries:  d.MeterRetries,
+		backoff:  d.RetryBackoffSec,
+	}
+}
+
+// MeterStream returns the schedule's meter-fault random stream. Wrapping
+// several instruments from successive Split calls of this stream keeps
+// the whole pool deterministic under the one schedule seed.
+func (s Schedule) MeterStream() *rng.Rand {
+	return s.streams().meter
+}
+
+// AveragePower reads the windowed average through the inner instrument,
+// retrying transient dropouts. With a zero drop rate it is a strict
+// pass-through.
+func (f *FlakyMeter) AveragePower(tr *power.Trace, a, b float64) (power.Watts, error) {
+	if f.dropRate == 0 {
+		return f.inner.AveragePower(tr, a, b)
+	}
+	backoff := f.backoff
+	for attempt := 0; attempt <= f.retries; attempt++ {
+		if !f.r.Bernoulli(f.dropRate) {
+			return f.inner.AveragePower(tr, a, b)
+		}
+		f.stats.MeterFailures++
+		mMeterFailures.Inc()
+		if attempt < f.retries {
+			f.stats.MeterRetries++
+			f.stats.BackoffSec += backoff
+			mMeterRetries.Inc()
+			backoff *= 2
+		}
+	}
+	f.stats.MeterGiveUps++
+	mMeterGiveUps.Inc()
+	return 0, ErrMeterDropout
+}
+
+// Stats returns the accumulated dropout counts for this instrument.
+func (f *FlakyMeter) Stats() Report { return f.stats }

@@ -1,0 +1,84 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+
+	"nodevar/internal/meter"
+	"nodevar/internal/rng"
+)
+
+func testInstrument(t *testing.T) meter.Instrument {
+	t.Helper()
+	m, err := meter.New(meter.Reference, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestFlakyMeterPassThrough(t *testing.T) {
+	tr := flatTrace(t, 100, 400)
+	inst := testInstrument(t)
+	want, err := inst.AveragePower(tr, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zero drop rate: strict pass-through, no stream consumption.
+	f := Schedule{Seed: 1}.WrapMeter(inst, rng.New(5))
+	got, err := f.AveragePower(tr, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("pass-through read %v, direct read %v", got, want)
+	}
+	if s := f.Stats(); s.Injected() {
+		t.Errorf("pass-through accumulated stats: %+v", s)
+	}
+}
+
+func TestFlakyMeterExhaustsRetries(t *testing.T) {
+	tr := flatTrace(t, 100, 400)
+	s := Schedule{Seed: 1, MeterDropRate: 1, MeterRetries: 2, RetryBackoffSec: 0.1}
+	f := s.WrapMeter(testInstrument(t), s.MeterStream())
+	_, err := f.AveragePower(tr, 0, 100)
+	if !errors.Is(err, ErrMeterDropout) {
+		t.Fatalf("err = %v, want ErrMeterDropout", err)
+	}
+	st := f.Stats()
+	if st.MeterFailures != 3 || st.MeterRetries != 2 || st.MeterGiveUps != 1 {
+		t.Errorf("stats: %+v", st)
+	}
+	// Exponential backoff: 0.1 + 0.2 accounted before giving up.
+	if diff := st.BackoffSec - 0.3; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("backoff %v, want 0.3", st.BackoffSec)
+	}
+}
+
+func TestFlakyMeterDeterministicAndRecovers(t *testing.T) {
+	tr := flatTrace(t, 100, 400)
+	s := Schedule{Seed: 9, MeterDropRate: 0.4}
+	run := func() (int, Report) {
+		f := s.WrapMeter(testInstrument(t), s.MeterStream())
+		errs := 0
+		for i := 0; i < 50; i++ {
+			if _, err := f.AveragePower(tr, 0, 100); err != nil {
+				errs++
+			}
+		}
+		return errs, f.Stats()
+	}
+	errsA, statsA := run()
+	errsB, statsB := run()
+	if errsA != errsB || statsA != statsB {
+		t.Fatalf("non-deterministic flaky meter: %d/%+v vs %d/%+v",
+			errsA, statsA, errsB, statsB)
+	}
+	if statsA.MeterFailures == 0 || statsA.MeterRetries == 0 {
+		t.Errorf("40%% drop rate over 50 reads produced no failures: %+v", statsA)
+	}
+	if errsA == 50 {
+		t.Error("every read gave up despite a 3-retry budget at 40% drop rate")
+	}
+}

@@ -1,0 +1,37 @@
+package faults
+
+import "sort"
+
+// Outage is one whole-node dropout: the node stops reporting at time At
+// (seconds into the run) and never comes back.
+type Outage struct {
+	Node int
+	At   float64
+}
+
+// NodeOutages draws which of n nodes drop out during a run of the given
+// duration: each node independently drops with probability NodeDropRate,
+// at a uniform time within the middle 80% of the run (a node that dies
+// before the run starts would simply be excluded from the submission;
+// mid-run death is the case that corrupts a measurement). The result is
+// sorted by node index and deterministic in the schedule seed.
+func (s Schedule) NodeOutages(n int, duration float64) []Outage {
+	if s.NodeDropRate <= 0 || n <= 0 || duration <= 0 {
+		return nil
+	}
+	r := s.streams().node
+	var out []Outage
+	for i := 0; i < n; i++ {
+		// Draw the outage time unconditionally so each node consumes a
+		// fixed amount of the stream: changing n only extends the tail.
+		at := duration * (0.1 + 0.8*r.Float64())
+		if r.Bernoulli(s.NodeDropRate) {
+			out = append(out, Outage{Node: i, At: at})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Node < out[b].Node })
+	if len(out) > 0 {
+		mNodeDropouts.Add(int64(len(out)))
+	}
+	return out
+}

@@ -24,8 +24,29 @@ type Assessment struct {
 	// TimeBiasBounded reports whether the window covered the full core
 	// phase, making time-variation bias zero by construction.
 	TimeBiasBounded bool
+	// DataCompleteness is the fraction of expected measurement data that
+	// actually arrived (1 when every sample, instrument and node
+	// reported; see internal/faults). Zero means "not assessed".
+	DataCompleteness float64
+	// Degraded reports that the measurement lost data — gaps, meter
+	// dropouts or node outages — and the stated accuracy is therefore a
+	// lower bound on the true uncertainty.
+	Degraded bool
 	// Notes carries human-readable caveats.
 	Notes []string
+}
+
+// WithCompleteness returns the assessment annotated with the observed
+// data completeness. Anything below 1 marks the assessment degraded; a
+// complete measurement is returned unchanged, so fault-free renderings
+// stay byte-identical.
+func (a Assessment) WithCompleteness(completeness float64) Assessment {
+	if completeness >= 1 || completeness <= 0 {
+		return a
+	}
+	a.DataCompleteness = completeness
+	a.Degraded = true
+	return a
 }
 
 // String renders the accuracy statement.
@@ -38,6 +59,10 @@ func (a Assessment) String() string {
 	} else {
 		fmt.Fprintf(&b, "; only %.0f%% of the core phase measured (window bias unbounded)",
 			a.WindowFraction*100)
+	}
+	if a.Degraded {
+		fmt.Fprintf(&b, "; DEGRADED: only %.1f%% of expected data observed — accuracy is a lower bound",
+			a.DataCompleteness*100)
 	}
 	for _, n := range a.Notes {
 		b.WriteString("; ")

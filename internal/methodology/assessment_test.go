@@ -127,3 +127,32 @@ func TestTenSegmentAverageErrors(t *testing.T) {
 		t.Error("single-sample trace accepted")
 	}
 }
+
+func TestWithCompleteness(t *testing.T) {
+	base := Assessment{Confidence: 0.95, SubsetAccuracy: 0.02, TimeBiasBounded: true}
+	clean := base.String()
+
+	// Complete (or unassessed) data leaves the assessment — and its
+	// rendering — untouched, so fault-free output stays byte-identical.
+	for _, c := range []float64{1, 1.5, 0, -0.1} {
+		got := base.WithCompleteness(c)
+		if got.Degraded || got.String() != clean {
+			t.Errorf("WithCompleteness(%v) changed a complete assessment: %+v", c, got)
+		}
+	}
+
+	deg := base.WithCompleteness(0.93)
+	if !deg.Degraded || deg.DataCompleteness != 0.93 {
+		t.Fatalf("degraded assessment: %+v", deg)
+	}
+	s := deg.String()
+	if !strings.Contains(s, "DEGRADED") || !strings.Contains(s, "93.0%") {
+		t.Errorf("degraded rendering %q", s)
+	}
+	if !strings.Contains(s, "lower bound") {
+		t.Errorf("degraded rendering %q missing the lower-bound caveat", s)
+	}
+	if base.Degraded {
+		t.Error("WithCompleteness mutated its receiver")
+	}
+}

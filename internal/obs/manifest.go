@@ -2,6 +2,7 @@ package obs
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"os/exec"
 	"runtime"
@@ -12,8 +13,37 @@ import (
 )
 
 // ManifestSchema identifies the manifest layout; bump on breaking
-// changes.
-const ManifestSchema = "nodevar/run-manifest/v1"
+// changes. v2 added the optional "faults" section describing injected
+// faults and the resulting data completeness; v1 manifests (no faults
+// section) are still readable via ReadManifest.
+const (
+	ManifestSchema   = "nodevar/run-manifest/v2"
+	ManifestSchemaV1 = "nodevar/run-manifest/v1"
+)
+
+// FaultsSection records a run's fault-injection schedule and what it
+// cost: the seed and schedule for byte-identical replay, the observed
+// data completeness, and the per-class injection counts. It is written
+// only for degraded runs (omitted entirely when no faults were
+// injected, keeping fault-free manifests identical to v1 apart from the
+// schema string).
+type FaultsSection struct {
+	Seed     uint64 `json:"seed"`
+	Schedule string `json:"schedule"`
+	// Completeness is observed data over expected data, in (0, 1].
+	Completeness float64 `json:"completeness"`
+	Degraded     bool    `json:"degraded"`
+
+	DropWindows    int `json:"drop_windows,omitempty"`
+	DroppedSamples int `json:"dropped_samples,omitempty"`
+	StuckWindows   int `json:"stuck_windows,omitempty"`
+	GlitchNaN      int `json:"glitch_nan,omitempty"`
+	GlitchSpike    int `json:"glitch_spike,omitempty"`
+	MeterFailures  int `json:"meter_failures,omitempty"`
+	MeterRetries   int `json:"meter_retries,omitempty"`
+	MeterGiveUps   int `json:"meter_giveups,omitempty"`
+	NodesDropped   int `json:"nodes_dropped,omitempty"`
+}
 
 // Manifest ties one command invocation to everything needed to
 // reproduce and audit it: the exact configuration, per-phase wall
@@ -21,11 +51,11 @@ const ManifestSchema = "nodevar/run-manifest/v1"
 // in EXPERIMENTS.md references the manifest of the run that produced
 // it.
 type Manifest struct {
-	Schema    string `json:"schema"`
-	Command   string `json:"command"`
+	Schema    string   `json:"schema"`
+	Command   string   `json:"command"`
 	Args      []string `json:"args"`
-	Version   string `json:"version"`
-	GoVersion string `json:"go_version"`
+	Version   string   `json:"version"`
+	GoVersion string   `json:"go_version"`
 
 	Start       time.Time `json:"start"`
 	End         time.Time `json:"end"`
@@ -42,6 +72,9 @@ type Manifest struct {
 	TraceDropped int64 `json:"trace_dropped,omitempty"`
 	// Metrics is the final snapshot of the default registry.
 	Metrics Snapshot `json:"metrics"`
+	// Faults describes injected faults and data completeness (v2; nil
+	// for fault-free runs and all v1 manifests).
+	Faults *FaultsSection `json:"faults,omitempty"`
 }
 
 // WriteJSON writes the manifest as indented JSON.
@@ -49,6 +82,29 @@ func (m *Manifest) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(m)
+}
+
+// ReadManifest parses a manifest written by this or an earlier version
+// of the tool. It accepts the current v2 schema and the v1 schema (v1
+// manifests simply carry no faults section); any other schema string is
+// an error.
+func ReadManifest(r io.Reader) (*Manifest, error) {
+	var m Manifest
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&m); err != nil {
+		return nil, fmt.Errorf("obs: parsing manifest: %w", err)
+	}
+	switch m.Schema {
+	case ManifestSchema:
+	case ManifestSchemaV1:
+		if m.Faults != nil {
+			return nil, fmt.Errorf("obs: %s manifest carries a v2 faults section", ManifestSchemaV1)
+		}
+	default:
+		return nil, fmt.Errorf("obs: unsupported manifest schema %q (want %s or %s)",
+			m.Schema, ManifestSchema, ManifestSchemaV1)
+	}
+	return &m, nil
 }
 
 var (

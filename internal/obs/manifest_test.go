@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// degradedManifest builds the fixed manifest the v2 golden file pins:
+// every field deterministic, with a faults section describing a
+// degraded run.
+func degradedManifest() *Manifest {
+	start := time.Date(2026, 2, 3, 10, 0, 0, 0, time.UTC)
+	end := start.Add(90 * time.Second)
+	return &Manifest{
+		Schema:      ManifestSchema,
+		Command:     "powersim",
+		Args:        []string{"-nodes", "128", "-faults", "seed=7,drop=0.01,meterdrop=0.05"},
+		Version:     "test-fixed",
+		GoVersion:   "go1.x-fixed",
+		Start:       start,
+		End:         end,
+		DurationSec: 90,
+		Config: map[string]any{
+			"nodes": 128,
+			"seed":  42,
+		},
+		Phases: []PhaseTiming{
+			{Cat: "sim", Name: "run", Count: 1, TotalMS: 80000, MaxMS: 80000},
+		},
+		Metrics: Snapshot{
+			Counters:      map[string]int64{"faults.samples_dropped": 37},
+			Gauges:        map[string]float64{},
+			FloatCounters: map[string]float64{},
+			Histograms:    map[string]HistogramSnapshot{},
+		},
+		Faults: &FaultsSection{
+			Seed:           7,
+			Schedule:       "seed=7 drop=0.01 meterdrop=0.05",
+			Completeness:   0.9417,
+			Degraded:       true,
+			DropWindows:    4,
+			DroppedSamples: 37,
+			MeterFailures:  3,
+			MeterRetries:   2,
+			MeterGiveUps:   1,
+		},
+	}
+}
+
+// v1Manifest is the same run without fault injection, as the previous
+// schema wrote it.
+func v1Manifest() *Manifest {
+	m := degradedManifest()
+	m.Schema = ManifestSchemaV1
+	m.Args = []string{"-nodes", "128"}
+	m.Faults = nil
+	m.Metrics.Counters = map[string]int64{}
+	return m
+}
+
+func goldenPath(name string) string {
+	return filepath.Join("testdata", name)
+}
+
+func checkGolden(t *testing.T, name string, m *Manifest) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := goldenPath(name)
+	if *updateGolden {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (rerun with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("%s drifted from golden file (rerun with -update if intended)\ngot:\n%s\nwant:\n%s",
+			name, buf.Bytes(), want)
+	}
+	return want
+}
+
+func TestManifestV2Golden(t *testing.T) {
+	data := checkGolden(t, "run-manifest-v2.golden.json", degradedManifest())
+
+	m, err := ReadManifest(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Schema != ManifestSchema {
+		t.Errorf("schema %q", m.Schema)
+	}
+	f := m.Faults
+	if f == nil {
+		t.Fatal("degraded manifest lost its faults section")
+	}
+	if f.Seed != 7 || !f.Degraded || f.Completeness != 0.9417 ||
+		f.DroppedSamples != 37 || f.MeterGiveUps != 1 {
+		t.Errorf("faults section round-trip: %+v", f)
+	}
+	if f.Schedule != "seed=7 drop=0.01 meterdrop=0.05" {
+		t.Errorf("schedule %q", f.Schedule)
+	}
+}
+
+func TestManifestV1BackCompat(t *testing.T) {
+	data := checkGolden(t, "run-manifest-v1.golden.json", v1Manifest())
+
+	m, err := ReadManifest(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("v1 manifest no longer readable: %v", err)
+	}
+	if m.Schema != ManifestSchemaV1 {
+		t.Errorf("schema %q", m.Schema)
+	}
+	if m.Faults != nil {
+		t.Errorf("v1 manifest grew a faults section: %+v", m.Faults)
+	}
+	if m.Command != "powersim" || m.DurationSec != 90 {
+		t.Errorf("v1 fields lost: %+v", m)
+	}
+}
+
+func TestReadManifestRejects(t *testing.T) {
+	if _, err := ReadManifest(strings.NewReader(`{"schema":"nodevar/run-manifest/v99"}`)); err == nil {
+		t.Error("unknown schema accepted")
+	}
+	if _, err := ReadManifest(strings.NewReader(`{not json`)); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	v1WithFaults := `{"schema":"nodevar/run-manifest/v1","faults":{"seed":1}}`
+	if _, err := ReadManifest(strings.NewReader(v1WithFaults)); err == nil {
+		t.Error("v1 manifest with a v2 faults section accepted")
+	}
+}

@@ -1,12 +1,14 @@
 package power
 
 import (
+	"math"
 	"strings"
 	"testing"
 )
 
-// FuzzReadCSV checks that arbitrary input never panics the trace parser
-// and that anything it accepts is a well-formed trace.
+// FuzzReadCSV checks that arbitrary input — including gappy cadences and
+// NaN/Inf power values, which real meter logs contain — never panics the
+// trace parser and that anything it accepts is a well-formed trace.
 func FuzzReadCSV(f *testing.F) {
 	f.Add("time_s,power_w\n0,100\n1,110\n")
 	f.Add("0,100\n1,110\n2,105\n")
@@ -14,6 +16,10 @@ func FuzzReadCSV(f *testing.F) {
 	f.Add("a,b,c\n")
 	f.Add("1,2\n1,3\n")
 	f.Add("-5,1e300\n-4,0\n")
+	// Gappy cadence and non-finite readings.
+	f.Add("0,100\n1,101\n60,99\n61,NaN\n62,+Inf\n63,102\n")
+	f.Add("0,NaN\n0.5,-Inf\n")
+	f.Add("0,100\n1e308,100\n")
 	f.Fuzz(func(t *testing.T, input string) {
 		tr, err := ReadCSV(strings.NewReader(input))
 		if err != nil {
@@ -29,6 +35,63 @@ func FuzzReadCSV(f *testing.F) {
 				t.Fatalf("accepted non-increasing timestamps: %v after %v", s.Time, prev)
 			}
 			prev = s.Time
+		}
+		// Sanitize must either salvage a valid trace or refuse; it must
+		// never return a trace that still carries non-finite readings.
+		st, dropped, err := tr.Sanitize()
+		if err != nil {
+			return
+		}
+		if dropped == 0 && st != tr {
+			t.Fatal("clean trace was copied by Sanitize")
+		}
+		for _, s := range st.Samples() {
+			if math.IsNaN(float64(s.Power)) || math.IsInf(float64(s.Power), 0) {
+				t.Fatalf("Sanitize left non-finite reading %v", s.Power)
+			}
+		}
+	})
+}
+
+// FuzzTolerantEnergy drives the gap-tolerant integration with
+// fuzzer-chosen windows and gap thresholds over a gappy trace, checking
+// it never panics, never reports completeness outside [0, 1], and stays
+// bit-identical to the fast path when it reports no gaps.
+func FuzzTolerantEnergy(f *testing.F) {
+	f.Add(0.0, 100.0, 1.5)
+	f.Add(30.0, 40.0, 0.5)
+	f.Add(100.0, 0.0, 1e-9)
+	f.Add(-1e9, 1e9, 1e9)
+	f.Fuzz(func(t *testing.T, a, b, maxGap float64) {
+		samples := make([]Sample, 0, 101)
+		for i := 0; i <= 100; i++ {
+			if i > 30 && i < 45 { // baked-in data gap
+				continue
+			}
+			samples = append(samples, Sample{Time: float64(i), Power: Watts(100 + i%7)})
+		}
+		tr, err := NewTrace(samples)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, q, err := tr.EnergyBetweenTolerant(a, b, maxGap)
+		if err != nil {
+			return
+		}
+		if math.IsNaN(float64(e)) {
+			t.Fatalf("energy NaN for window [%v, %v] maxGap %v", a, b, maxGap)
+		}
+		if q.Completeness < 0 || q.Completeness > 1+1e-12 {
+			t.Fatalf("completeness %v outside [0, 1]", q.Completeness)
+		}
+		if q.Gaps == 0 {
+			want, werr := tr.EnergyBetween(a, b)
+			if werr != nil {
+				t.Fatalf("fast path failed where tolerant path passed: %v", werr)
+			}
+			if e != want {
+				t.Fatalf("no-gap window [%v, %v]: tolerant %v != fast %v", a, b, e, want)
+			}
 		}
 	})
 }

@@ -1,0 +1,115 @@
+package power
+
+import (
+	"testing"
+
+	"nodevar/internal/rng"
+)
+
+// Property: the tolerant query path degrades monotonically. With zero
+// injected faults it is bit-for-bit equal to the fast path; every
+// additional dropped window makes the reported completeness (and, for
+// non-negative power, the recovered energy) non-increasing, strictly
+// decreasing whenever the new gap intersects the query window.
+
+// gappyRandomTrace builds a 1 Hz trace of n+1 samples with power uniform in
+// [50, 150).
+func gappyRandomTrace(t *testing.T, r *rng.Rand, n int) *Trace {
+	t.Helper()
+	samples := make([]Sample, n+1)
+	for i := range samples {
+		samples[i] = Sample{Time: float64(i), Power: Watts(50 + 100*r.Float64())}
+	}
+	tr, err := NewTrace(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestPropertyZeroFaultsBitIdentical(t *testing.T) {
+	for seed := uint64(1); seed <= 20; seed++ {
+		r := rng.New(seed)
+		tr := gappyRandomTrace(t, r, 500)
+		for trial := 0; trial < 20; trial++ {
+			a := tr.Start() + r.Float64()*tr.Duration()
+			b := tr.Start() + r.Float64()*tr.Duration()
+			wantE, errE := tr.EnergyBetween(a, b)
+			gotE, q, err := tr.EnergyBetweenTolerant(a, b, 1.5)
+			if (err == nil) != (errE == nil) {
+				t.Fatalf("seed %d: error mismatch %v vs %v", seed, err, errE)
+			}
+			if gotE != wantE {
+				t.Fatalf("seed %d window [%v,%v]: energy %v != %v", seed, a, b, gotE, wantE)
+			}
+			if q.Completeness != 1 || q.Gaps != 0 {
+				t.Fatalf("seed %d: fault-free window reported quality %+v", seed, q)
+			}
+			wantA, _ := tr.AverageBetween(a, b)
+			gotA, _, _ := tr.AverageBetweenTolerant(a, b, 1.5)
+			if gotA != wantA {
+				t.Fatalf("seed %d window [%v,%v]: average %v != %v", seed, a, b, gotA, wantA)
+			}
+		}
+	}
+}
+
+func TestPropertyCompletenessDegradesMonotonically(t *testing.T) {
+	const (
+		n       = 600
+		dropLen = 10.0
+		maxGap  = 1.5
+	)
+	for seed := uint64(1); seed <= 10; seed++ {
+		r := rng.New(seed)
+		base := gappyRandomTrace(t, r, n)
+		qa, qb := 50.0, 550.0 // fixed query window
+
+		// Nested drop schedules: schedule k removes the first k windows,
+		// so every step only adds faults.
+		starts := make([]float64, 6)
+		for i := range starts {
+			starts[i] = float64(r.Intn(n - int(dropLen)))
+		}
+		prevComp := 1.0
+		prevEnergy, _, err := base.EnergyBetweenTolerant(qa, qb, maxGap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := base
+		for k, start := range starts {
+			before := tr.Len()
+			tr = dropRange(t, tr, start, start+dropLen)
+			removed := before - tr.Len()
+			e, q, err := tr.EnergyBetweenTolerant(qa, qb, maxGap)
+			if err == ErrNoData {
+				break // window fully eroded; degradation is total, not silent
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if q.Completeness > prevComp+1e-12 {
+				t.Fatalf("seed %d step %d: completeness rose %v -> %v",
+					seed, k, prevComp, q.Completeness)
+			}
+			if float64(e) > float64(prevEnergy)+1e-9 {
+				t.Fatalf("seed %d step %d: energy rose %v -> %v", seed, k, prevEnergy, e)
+			}
+			// A fresh gap inside the query window must strictly reduce
+			// completeness (overlapping an existing gap widens it). A
+			// window that removed no samples — fully inside an earlier
+			// gap — changes nothing, so only assert when samples went.
+			if removed > 0 && start > qa && start+dropLen < qb && q.Completeness >= prevComp-1e-12 {
+				t.Fatalf("seed %d step %d: in-window drop at %v did not reduce completeness (%v)",
+					seed, k, start, q.Completeness)
+			}
+			if q.Completeness < 1-1e-12 && q.Gaps == 0 {
+				t.Fatalf("seed %d step %d: incomplete window reported zero gaps", seed, k)
+			}
+			prevComp, prevEnergy = q.Completeness, e
+		}
+		if prevComp >= 1 {
+			t.Fatalf("seed %d: no degradation observed after %d drop windows", seed, len(starts))
+		}
+	}
+}

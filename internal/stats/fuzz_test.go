@@ -1,6 +1,8 @@
 package stats
 
 import (
+	"bytes"
+	"encoding/binary"
 	"math"
 	"testing"
 )
@@ -53,6 +55,55 @@ func FuzzTQuantileCDF(f *testing.F) {
 		back := d.CDF(x)
 		if math.Abs(back-p) > 1e-6 {
 			t.Fatalf("CDF(Quantile(%v)) = %v for nu=%v", p, back, nu)
+		}
+	})
+}
+
+// FuzzMeanCI drives confidence-interval construction with arbitrary
+// sample data decoded from raw bytes. Properties checked on every valid
+// input: the half-width is non-negative and finite, the exact t interval
+// contains the z approximation (t quantiles dominate z for every df),
+// and the finite population correction can only shrink the interval.
+func FuzzMeanCI(f *testing.F) {
+	f.Add([]byte{}, 0.95, 100)
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}, 0.9, 0)
+	f.Add(bytes.Repeat([]byte{0x3f}, 64), 0.99, 4)
+	f.Add(bytes.Repeat([]byte{0xff}, 32), 0.5, 2)
+	f.Fuzz(func(t *testing.T, data []byte, confidence float64, population int) {
+		if !(confidence > 0 && confidence < 1) {
+			return
+		}
+		var xs []float64
+		for i := 0; i+8 <= len(data) && len(xs) < 256; i += 8 {
+			v := math.Float64frombits(binary.LittleEndian.Uint64(data[i : i+8]))
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e100 {
+				continue
+			}
+			xs = append(xs, v)
+		}
+		if len(xs) < 2 {
+			return
+		}
+		tCI := MeanCI(xs, CIOptions{Confidence: confidence})
+		zCI := MeanCI(xs, CIOptions{Confidence: confidence, UseZ: true})
+		for _, ci := range []Interval{tCI, zCI} {
+			if ci.HalfWidth < 0 || math.IsNaN(ci.HalfWidth) || math.IsInf(ci.HalfWidth, 0) {
+				t.Fatalf("half-width %v from %d samples at %v", ci.HalfWidth, len(xs), confidence)
+			}
+			if math.IsNaN(ci.Center) {
+				t.Fatalf("NaN center from finite samples")
+			}
+		}
+		if tCI.HalfWidth < zCI.HalfWidth*(1-1e-12) {
+			t.Fatalf("t interval (%v) narrower than z (%v) with n=%d",
+				tCI.HalfWidth, zCI.HalfWidth, len(xs))
+		}
+		if population >= len(xs) && population > 1 {
+			fpc := MeanCI(xs, CIOptions{Confidence: confidence, PopulationSize: population})
+			if fpc.HalfWidth > tCI.HalfWidth*(1+1e-12) {
+				t.Fatalf("FPC widened the interval: %v > %v (n=%d, N=%d)",
+					fpc.HalfWidth, tCI.HalfWidth, len(xs), population)
+			}
 		}
 	})
 }
