@@ -5,7 +5,7 @@ COVER_FLOOR ?= 80
 CHAOS_SEEDS ?= 8
 CHAOS_FAULTS ?= drop=0.02,stuck=0.01,glitch=0.01,jitter=0.1,meterdrop=0.05,nodedrop=0.15
 
-.PHONY: build test vet race race-obs check bench trace repro fuzz-smoke cover-check chaos
+.PHONY: build test vet race race-obs check bench trace repro fuzz-smoke cover-check chaos interrupt vuln
 
 build:
 	$(GO) build ./...
@@ -34,6 +34,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzTolerantEnergy -fuzztime=$(FUZZTIME) ./internal/power
 	$(GO) test -run='^$$' -fuzz=FuzzPlanSampleSize -fuzztime=$(FUZZTIME) ./internal/sampling
 	$(GO) test -run='^$$' -fuzz=FuzzMeanCI -fuzztime=$(FUZZTIME) ./internal/stats
+	$(GO) test -run='^$$' -fuzz=FuzzDecode -fuzztime=$(FUZZTIME) ./internal/checkpoint
 
 # Coverage floor for the fault-injection layer and the power core it
 # hardens: these packages carry the never-a-silent-wrong-answer
@@ -50,6 +51,20 @@ cover-check:
 chaos:
 	$(GO) test -race -count=1 ./internal/faults/...
 	$(GO) run ./cmd/chaos -seeds $(CHAOS_SEEDS) -faults "$(CHAOS_FAULTS)"
+
+# The interrupt/resume gate: the resumetest harness (randomized seeded
+# cancel points, resume, byte-identical final output), the checkpoint
+# codec, and the signal/exit-code plumbing, all under the race detector,
+# plus the end-to-end SIGINT test against the real repro binary.
+interrupt:
+	$(GO) test -race -count=1 ./internal/sampling/resumetest ./internal/checkpoint ./internal/cli
+	$(GO) test -count=1 -run TestReproInterrupt .
+
+# Scan the module against the Go vulnerability database. Needs network
+# access to fetch the tool and the DB, so it is a CI gate rather than
+# part of the offline `check` target.
+vuln:
+	$(GO) run golang.org/x/vuln/cmd/govulncheck@latest ./...
 
 # The full pre-commit gate: vet, build, the test suite under the race
 # detector, fuzz smoke, and the coverage floor.

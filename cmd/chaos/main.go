@@ -22,6 +22,10 @@ import (
 )
 
 func main() {
+	os.Exit(realMain())
+}
+
+func realMain() int {
 	var (
 		seeds      = flag.Int("seeds", 8, "number of consecutive seeds to replay")
 		firstSeed  = flag.Uint64("first-seed", 1, "first seed of the range")
@@ -31,8 +35,12 @@ func main() {
 		verbose    = flag.Bool("report", false, "print each seed's full outcome text")
 		obsFlags   = cli.RegisterObsFlags()
 		faultFlags = cli.RegisterFaultFlags()
+		execFlags  = cli.RegisterExecFlags()
 	)
 	flag.Parse()
+	if err := execFlags.Validate(); err != nil {
+		fatal(err)
+	}
 
 	sched, err := faultFlags.Schedule()
 	if err != nil {
@@ -42,6 +50,8 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	ctx, stop := run.Context(execFlags)
+	defer stop()
 	run.SetConfig("seeds", *seeds)
 	run.SetConfig("first_seed", *firstSeed)
 	run.SetConfig("nodes", *nodes)
@@ -50,9 +60,18 @@ func main() {
 	run.SetConfig("faults", sched.String())
 
 	violations := 0
+	replayed := 0
 	var merged faults.Report
 	merged.Completeness = 1
 	for i := 0; i < *seeds; i++ {
+		// Each seed is an independent replay, so a cancellation between
+		// seeds loses nothing: the seeds already checked stand on their
+		// own and the run reports how far it got.
+		if err := ctx.Err(); err != nil {
+			fmt.Printf("interrupted after %d of %d seeds\n", replayed, *seeds)
+			run.SetFaults(merged.ManifestSection())
+			return run.Close(err)
+		}
 		sc := chaostest.Scenario{
 			Nodes:       *nodes,
 			DurationSec: *duration,
@@ -63,13 +82,14 @@ func main() {
 
 		out, err := chaostest.Run(sc)
 		if err != nil {
-			fatal(err)
+			return run.Close(err)
 		}
 		replay, err := chaostest.Run(sc)
 		if err != nil {
-			fatal(err)
+			return run.Close(err)
 		}
 		merged.Merge(out.Report)
+		replayed++
 
 		bad := func(format string, args ...any) {
 			violations++
@@ -98,13 +118,11 @@ func main() {
 	run.SetFaults(merged.ManifestSection())
 	if violations > 0 {
 		fmt.Printf("%d invariant violation(s) across %d seeds\n", violations, *seeds)
-		_ = run.Finish()
-		os.Exit(1)
+		_ = run.Close(fmt.Errorf("%d invariant violation(s)", violations))
+		return 1
 	}
 	fmt.Printf("all invariants held across %d seeds\n", *seeds)
-	if err := run.Finish(); err != nil {
-		fatal(err)
-	}
+	return run.Close(nil)
 }
 
 func fatal(err error) {

@@ -8,9 +8,16 @@
 //	coverage                                  # LRZ pilot defaults
 //	coverage -replicates 100000 -n 3,5,10,20  # the paper's scale
 //	coverage -system titan -population 18688
+//	coverage -replicates 100000 -checkpoint cov.ckpt -resume
+//
+// SIGINT/SIGTERM cancel the study at the next chunk boundary, flushing
+// the checkpoint (when configured) and an "interrupted" manifest before
+// exiting 130; a second signal exits immediately.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +29,10 @@ import (
 )
 
 func main() {
+	os.Exit(realMain())
+}
+
+func realMain() int {
 	var (
 		system     = flag.String("system", "lrz", "system preset supplying the pilot dataset")
 		pilotSize  = flag.Int("pilot", 516, "pilot sample size (0 = all measured nodes)")
@@ -31,13 +42,19 @@ func main() {
 		nList      = flag.String("n", "3,5,10,15,20,30,50,100", "comma-separated subset sizes")
 		levelList  = flag.String("levels", "0.80,0.95,0.99", "comma-separated confidence levels")
 		obsFlags   = cli.RegisterObsFlags()
+		execFlags  = cli.RegisterExecFlags()
 	)
 	flag.Parse()
+	if err := execFlags.Validate(); err != nil {
+		fatal(err)
+	}
 
 	run, err := obsFlags.Start("coverage")
 	if err != nil {
 		fatal(err)
 	}
+	ctx, stop := run.Context(execFlags)
+	defer stop()
 	run.SetConfig("system", *system)
 	run.SetConfig("pilot", *pilotSize)
 	run.SetConfig("replicates", *replicates)
@@ -66,15 +83,20 @@ func main() {
 		fatal(err)
 	}
 
-	points, err := sampling.CoverageStudy(sampling.CoverageConfig{
+	points, err := sampling.CoverageStudyCtx(ctx, sampling.CoverageConfig{
 		Pilot:       pilot,
 		Population:  pop,
 		SampleSizes: ns,
 		Levels:      levels,
 		Replicates:  *replicates,
 		Seed:        *seed,
+		Checkpoint:  execFlags.Checkpoint,
+		Resume:      execFlags.Resume,
 	})
 	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return run.Close(err)
+		}
 		fatal(err)
 	}
 
@@ -100,9 +122,7 @@ func main() {
 	if err := t.WriteText(os.Stdout); err != nil {
 		fatal(err)
 	}
-	if err := run.Finish(); err != nil {
-		fatal(err)
-	}
+	return run.Close(nil)
 }
 
 func fatal(err error) {

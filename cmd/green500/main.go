@@ -20,28 +20,33 @@ import (
 )
 
 func main() {
+	os.Exit(realMain())
+}
+
+func realMain() int {
 	var (
-		in       = flag.String("in", "", "JSON file of submissions (default: built-in Nov 2014 top 10)")
-		validate = flag.String("validate", "", "validate entries against: level1, level2, level3, revised")
-		top500   = flag.Bool("top500", false, "rank by Rmax (Top500 style) instead of efficiency")
-		csvOut   = flag.String("csv", "", "write the ranked list as CSV to this path")
-		trend    = flag.Bool("trend", false, "print the Green500 #1 efficiency trend 2007-2014")
-		obsFlags = cli.RegisterObsFlags()
+		in        = flag.String("in", "", "JSON file of submissions (default: built-in Nov 2014 top 10)")
+		validate  = flag.String("validate", "", "validate entries against: level1, level2, level3, revised")
+		top500    = flag.Bool("top500", false, "rank by Rmax (Top500 style) instead of efficiency")
+		csvOut    = flag.String("csv", "", "write the ranked list as CSV to this path")
+		trend     = flag.Bool("trend", false, "print the Green500 #1 efficiency trend 2007-2014")
+		obsFlags  = cli.RegisterObsFlags()
+		execFlags = cli.RegisterExecFlags()
 	)
 	flag.Parse()
+	if err := execFlags.Validate(); err != nil {
+		fatal(err)
+	}
 
 	run, err := obsFlags.Start("green500")
 	if err != nil {
 		fatal(err)
 	}
+	_, stop := run.Context(execFlags)
+	defer stop()
 	run.SetConfig("in", *in)
 	run.SetConfig("validate", *validate)
 	run.SetConfig("top500", *top500)
-	defer func() {
-		if err := run.Finish(); err != nil {
-			fatal(err)
-		}
-	}()
 
 	if *trend {
 		t := report.NewTable("Green500 #1 efficiency by edition", "Edition", "MFLOPS/W")
@@ -49,29 +54,29 @@ func main() {
 			t.AddRow(p.Edition, fmt.Sprintf("%.1f", p.BestMFlopsPerWatt))
 		}
 		if err := t.WriteText(os.Stdout); err != nil {
-			fatal(err)
+			return run.Close(err)
 		}
 		if rate, err := green500.TrendGrowthRate(green500.EfficiencyTrend()); err == nil {
 			fmt.Printf("fitted annual growth: %.2fx\n", rate)
 		}
-		return
+		return run.Close(nil)
 	}
 
 	subs := green500.Nov2014Top10()
 	if *in != "" {
 		f, err := os.Open(*in)
 		if err != nil {
-			fatal(err)
+			return run.Close(err)
 		}
 		subs, err = green500.ReadSubmissions(f)
 		f.Close()
 		if err != nil {
-			fatal(err)
+			return run.Close(err)
 		}
 	}
 	list, err := green500.NewList(subs)
 	if err != nil {
-		fatal(err)
+		return run.Close(err)
 	}
 
 	entries := list.Entries
@@ -88,7 +93,7 @@ func main() {
 			fmt.Sprintf("%.1f", e.MFlopsPerWatt()))
 	}
 	if err := t.WriteText(os.Stdout); err != nil {
-		fatal(err)
+		return run.Close(err)
 	}
 
 	if margin, err := list.Margin(1, 3); err == nil {
@@ -101,14 +106,14 @@ func main() {
 	if *csvOut != "" {
 		f, err := os.Create(*csvOut)
 		if err != nil {
-			fatal(err)
+			return run.Close(err)
 		}
 		if err := list.WriteCSV(f); err != nil {
 			f.Close()
-			fatal(err)
+			return run.Close(err)
 		}
 		if err := f.Close(); err != nil {
-			fatal(err)
+			return run.Close(err)
 		}
 		fmt.Printf("list written to %s\n", *csvOut)
 	}
@@ -116,7 +121,7 @@ func main() {
 	if *validate != "" {
 		spec, err := specFor(*validate)
 		if err != nil {
-			fatal(err)
+			return run.Close(err)
 		}
 		fmt.Printf("\nvalidation against %s:\n", *validate)
 		clean := true
@@ -130,6 +135,7 @@ func main() {
 			fmt.Println("  all entries compliant")
 		}
 	}
+	return run.Close(nil)
 }
 
 func specFor(name string) (methodology.Spec, error) {

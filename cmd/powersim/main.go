@@ -23,6 +23,10 @@ import (
 )
 
 func main() {
+	os.Exit(realMain())
+}
+
+func realMain() int {
 	var (
 		system     = flag.String("system", "lcsc", "system key (see -list)")
 		samples    = flag.Int("samples", 2000, "trace resolution")
@@ -31,8 +35,12 @@ func main() {
 		analyze    = flag.String("analyze", "", "analyze a time,power CSV trace instead of simulating")
 		obsFlags   = cli.RegisterObsFlags()
 		faultFlags = cli.RegisterFaultFlags()
+		execFlags  = cli.RegisterExecFlags()
 	)
 	flag.Parse()
+	if err := execFlags.Validate(); err != nil {
+		fatal(err)
+	}
 
 	sched, err := faultFlags.Schedule()
 	if err != nil {
@@ -43,24 +51,17 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	ctx, stop := run.Context(execFlags)
+	defer stop()
 	run.SetConfig("system", *system)
 	run.SetConfig("samples", *samples)
 	if !sched.IsZero() {
 		run.SetConfig("faults", sched.String())
 	}
-	finish := func() {
-		if err := run.Finish(); err != nil {
-			fatal(err)
-		}
-	}
 
 	if *analyze != "" {
 		run.SetConfig("analyze", *analyze)
-		if err := analyzeCSV(*analyze, sched, run); err != nil {
-			fatal(err)
-		}
-		finish()
-		return
+		return run.Close(analyzeCSV(*analyze, sched, run))
 	}
 
 	if *list {
@@ -72,39 +73,40 @@ func main() {
 			}
 			t.AddRow(s.Key, s.Name, s.Site, fmt.Sprint(s.TotalNodes), hasTrace)
 		}
-		if err := t.WriteText(os.Stdout); err != nil {
-			fatal(err)
-		}
-		finish()
-		return
+		return run.Close(t.WriteText(os.Stdout))
 	}
 
 	spec, err := systems.ByKey(*system)
 	if err != nil {
-		fatal(err)
+		return run.Close(err)
 	}
 	tr, cal, err := systems.CalibratedTrace(spec, *samples)
 	if err != nil {
-		fatal(err)
+		return run.Close(err)
+	}
+	// A SIGINT during calibration (the expensive step) lands here; the
+	// run unwinds with a manifest instead of printing half a report.
+	if err := ctx.Err(); err != nil {
+		return run.Close(err)
 	}
 	// Fault injection: with a zero schedule Apply returns tr itself and
 	// Sanitize is skipped, so the fault-free output is byte-identical to
 	// a run without -faults.
 	tr, frep, err := sched.Apply(tr)
 	if err != nil {
-		fatal(err)
+		return run.Close(err)
 	}
 	sanitized := 0
 	if frep.Injected() {
 		tr, sanitized, err = tr.Sanitize()
 		if err != nil {
-			fatal(err)
+			return run.Close(err)
 		}
 		run.SetFaults(frep.ManifestSection())
 	}
 	rep, err := power.Segments(tr)
 	if err != nil {
-		fatal(err)
+		return run.Close(err)
 	}
 	fmt.Printf("%s (%s)\n", spec.Name, spec.Site)
 	fmt.Printf("  HPL runtime:        %.2f h (matrix order %d, Rmax %.1f TFLOPS)\n",
@@ -117,7 +119,7 @@ func main() {
 
 	gaming, err := methodology.AnalyzeGaming(spec.Name, tr)
 	if err != nil {
-		fatal(err)
+		return run.Close(err)
 	}
 	fmt.Printf("  Level-1 gaming:     best window [%.0f s, %.0f s] reports %.1f%% less power (+%.1f%% efficiency)\n",
 		gaming.WindowLo, gaming.WindowHi, gaming.PowerReduction*100, gaming.EfficiencyGain*100)
@@ -126,7 +128,7 @@ func main() {
 	if *csvPath != "" {
 		f, err := os.Create(*csvPath)
 		if err != nil {
-			fatal(err)
+			return run.Close(err)
 		}
 		defer f.Close()
 		t := report.NewTable("", "time_s", "power_w")
@@ -134,11 +136,11 @@ func main() {
 			t.AddRow(fmt.Sprintf("%.2f", s.Time), fmt.Sprintf("%.1f", float64(s.Power)))
 		}
 		if err := t.WriteCSV(f); err != nil {
-			fatal(err)
+			return run.Close(err)
 		}
 		fmt.Printf("  trace written:      %s (%d samples)\n", *csvPath, tr.Len())
 	}
-	finish()
+	return run.Close(nil)
 }
 
 func fatal(err error) {

@@ -6,9 +6,17 @@
 //	repro -exp table5                   # one artifact
 //	repro -exp figure3 -replicates 100000
 //	repro -exp all -out results/        # also write per-table CSV files
+//	repro -exp figure3 -checkpoint fig3.ckpt -resume -timeout 30m
+//
+// SIGINT/SIGTERM cancel the run gracefully: in-flight work stops at the
+// next chunk boundary, the checkpoint (if configured) and a manifest
+// with status "interrupted" are flushed, and the process exits 130. A
+// second signal exits immediately.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -20,6 +28,10 @@ import (
 )
 
 func main() {
+	os.Exit(realMain())
+}
+
+func realMain() int {
 	var (
 		exp        = flag.String("exp", "all", "experiment id or 'all' (ids: "+idList()+")")
 		seed       = flag.Uint64("seed", 2015, "random seed")
@@ -30,13 +42,19 @@ func main() {
 		svg        = flag.String("svg", "", "directory for SVG figure output (optional)")
 		md         = flag.String("md", "", "file for Markdown table output (optional)")
 		obsFlags   = cli.RegisterObsFlags()
+		execFlags  = cli.RegisterExecFlags()
 	)
 	flag.Parse()
+	if err := execFlags.Validate(); err != nil {
+		fatalf("%v", err)
+	}
 
 	run, err := obsFlags.Start("repro")
 	if err != nil {
 		fatalf("%v", err)
 	}
+	ctx, stop := run.Context(execFlags)
+	defer stop()
 	run.SetConfig("exp", *exp)
 	run.SetConfig("seed", *seed)
 	run.SetConfig("samples", *samples)
@@ -48,23 +66,35 @@ func main() {
 		TraceSamples:      *samples,
 		Replicates:        *replicates,
 		MeasurementTrials: *trials,
+		CheckpointPath:    execFlags.Checkpoint,
+		Resume:            execFlags.Resume,
 	}
 
-	// Experiments run in parallel (core.RunAll) and render afterwards in
-	// stable ID order, so the output is identical to a sequential run.
+	// Experiments run in parallel (core.RunAllCtx) and render afterwards
+	// in stable ID order, so the output is identical to a sequential run.
+	// A failing experiment no longer aborts the batch: its siblings still
+	// run and render, and the failures are summarized at exit.
 	var results []core.Result
+	var runErr error
 	if *exp == "all" {
-		all, err := core.RunAll(opts)
-		if err != nil {
-			fatalf("%v", err)
-		}
-		results = all
+		results, runErr = core.RunAllCtx(ctx, opts)
 	} else {
-		res, err := core.Run(core.ID(*exp), opts)
-		if err != nil {
-			fatalf("running %s: %v", *exp, err)
-		}
+		var res core.Result
+		res, runErr = core.RunCtx(ctx, core.ID(*exp), opts)
 		results = []core.Result{res}
+	}
+	if runErr != nil {
+		var es core.ExperimentErrors
+		switch {
+		case errors.Is(runErr, context.Canceled) || errors.Is(runErr, context.DeadlineExceeded):
+			// Graceful shutdown: skip rendering, flush artifacts, exit via
+			// the status-aware path.
+			return run.Close(runErr)
+		case errors.As(runErr, &es):
+			// Render what succeeded below, then exit non-zero.
+		default:
+			return run.Close(runErr)
+		}
 	}
 	run.Log.Debug("experiments complete", "count", len(results))
 	var mdFile *os.File
@@ -77,6 +107,9 @@ func main() {
 		mdFile = f
 	}
 	for _, res := range results {
+		if res == nil {
+			continue // failed experiment, summarized via runErr
+		}
 		id := res.ID()
 		if err := res.Render(os.Stdout); err != nil {
 			fatalf("rendering %s: %v", id, err)
@@ -102,9 +135,7 @@ func main() {
 			}
 		}
 	}
-	if err := run.Finish(); err != nil {
-		fatalf("writing observability output: %v", err)
-	}
+	return run.Close(runErr)
 }
 
 func writeSVGs(dir string, res core.Result) error {

@@ -20,6 +20,10 @@ import (
 )
 
 func main() {
+	os.Exit(realMain())
+}
+
+func realMain() int {
 	var (
 		nodes      = flag.Int("nodes", 10000, "total nodes N (0 = infinite population)")
 		cv         = flag.Float64("cv", 0.025, "anticipated sigma/mu of per-node power")
@@ -28,22 +32,23 @@ func main() {
 		table      = flag.Bool("table", false, "print the paper's Table 5 grid")
 		rules      = flag.Bool("rules", false, "compare the 1/64 rule with the revised max(16, 10%) rule")
 		obsFlags   = cli.RegisterObsFlags()
+		execFlags  = cli.RegisterExecFlags()
 	)
 	flag.Parse()
+	if err := execFlags.Validate(); err != nil {
+		fatal(err)
+	}
 
 	run, err := obsFlags.Start("samplesize")
 	if err != nil {
 		fatal(err)
 	}
+	_, stop := run.Context(execFlags)
+	defer stop()
 	run.SetConfig("nodes", *nodes)
 	run.SetConfig("cv", *cv)
 	run.SetConfig("accuracy", *accuracy)
 	run.SetConfig("confidence", *confidence)
-	defer func() {
-		if err := run.Finish(); err != nil {
-			fatal(err)
-		}
-	}()
 
 	if *table {
 		grid := sampling.PaperTable5()
@@ -53,21 +58,18 @@ func main() {
 			t.AddRow(fmt.Sprintf("%.1f%%", lam*100),
 				fmt.Sprint(grid.N[i][0]), fmt.Sprint(grid.N[i][1]), fmt.Sprint(grid.N[i][2]))
 		}
-		if err := t.WriteText(os.Stdout); err != nil {
-			fatal(err)
-		}
-		return
+		return run.Close(t.WriteText(os.Stdout))
 	}
 
 	if *rules {
 		if *nodes <= 0 {
-			fatal(fmt.Errorf("-rules needs -nodes > 0"))
+			return run.Close(fmt.Errorf("-rules needs -nodes > 0"))
 		}
 		old, revised := sampling.Level1Nodes(*nodes), sampling.RevisedRuleNodes(*nodes)
 		fmt.Printf("system of %d nodes:\n", *nodes)
 		fmt.Printf("  old 1/64 rule:            %d nodes\n", old)
 		fmt.Printf("  revised max(16,10%%) rule: %d nodes\n", revised)
-		return
+		return run.Close(nil)
 	}
 
 	plan := sampling.Plan{
@@ -78,17 +80,18 @@ func main() {
 	}
 	n, err := plan.RequiredSampleSize()
 	if err != nil {
-		fatal(err)
+		return run.Close(err)
 	}
 	acc, err := plan.ExpectedAccuracy(n)
 	if err != nil {
-		fatal(err)
+		return run.Close(err)
 	}
 	fmt.Printf("measure %d nodes\n", n)
 	fmt.Printf("  confidence:         %.0f%%\n", *confidence*100)
-	fmt.Printf("  target accuracy:    ±%.2f%%\n", *accuracy*100)
-	fmt.Printf("  achieved accuracy:  ±%.2f%% (exact t quantile)\n", acc*100)
+	fmt.Printf("  target accuracy:    \u00b1%.2f%%\n", *accuracy*100)
+	fmt.Printf("  achieved accuracy:  \u00b1%.2f%% (exact t quantile)\n", acc*100)
 	fmt.Printf("  assumed sigma/mu:   %.2f%%\n", *cv*100)
+	return run.Close(nil)
 }
 
 func fatal(err error) {

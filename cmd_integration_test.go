@@ -5,11 +5,18 @@ package nodevar_test
 // These complement the library tests by covering flag wiring and I/O.
 
 import (
+	"encoding/json"
+	"errors"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
+
+	"nodevar/internal/checkpoint"
+	"nodevar/internal/obs"
 )
 
 // buildCmds compiles every cmd/ binary into a temp dir once per test run.
@@ -120,4 +127,83 @@ func TestCommandLineTools(t *testing.T) {
 			t.Errorf("missing SVG output: %v", err)
 		}
 	})
+}
+
+// TestReproInterrupt drives the graceful-shutdown path end to end: a
+// long Figure 3 run is interrupted with SIGINT once its checkpoint file
+// exists, and must exit 130 leaving a loadable checkpoint and a
+// run manifest with status "interrupted".
+func TestReproInterrupt(t *testing.T) {
+	dir := buildCmds(t)
+	ckpt := filepath.Join(dir, "fig3.ckpt")
+	manifest := filepath.Join(dir, "manifest.json")
+
+	// Enough replicates that the study cannot finish before the signal
+	// lands, with the first checkpoint flush (8 of 64 chunks) seconds in.
+	cmd := exec.Command(filepath.Join(dir, "repro"),
+		"-exp", "figure3", "-replicates", "400000",
+		"-checkpoint", ckpt, "-manifest", manifest)
+	var out strings.Builder
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+
+	// Wait for the checkpoint to appear, then interrupt.
+	deadline := time.After(2 * time.Minute)
+	for {
+		if _, err := os.Stat(ckpt); err == nil {
+			break
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("repro exited before writing a checkpoint: %v\n%s", err, out.String())
+		case <-deadline:
+			cmd.Process.Kill()
+			t.Fatalf("no checkpoint after 2m\n%s", out.String())
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+	if err := cmd.Process.Signal(syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(time.Minute):
+		cmd.Process.Kill()
+		t.Fatalf("repro did not exit within 1m of SIGINT\n%s", out.String())
+	}
+	if code := cmd.ProcessState.ExitCode(); code != 130 {
+		t.Fatalf("exit code %d after SIGINT, want 130\n%s", code, out.String())
+	}
+
+	// The manifest must be the v3 schema with the interrupted status and
+	// the exec section describing the run.
+	f, err := os.Open(manifest)
+	if err != nil {
+		t.Fatalf("no manifest after interrupt: %v", err)
+	}
+	defer f.Close()
+	m, err := obs.ReadManifest(f)
+	if err != nil {
+		t.Fatalf("interrupted manifest unreadable: %v", err)
+	}
+	if m.Schema != obs.ManifestSchema || m.Status != obs.StatusInterrupted {
+		t.Errorf("manifest schema %q status %q, want %q/interrupted", m.Schema, m.Status, obs.ManifestSchema)
+	}
+	if m.Exec == nil || m.Exec.Checkpoint != ckpt || m.Exec.Signal == "" {
+		t.Errorf("manifest exec section: %+v", m.Exec)
+	}
+
+	// The checkpoint must be structurally intact: probing it with the
+	// wrong kind must fail the *stamp* check (ErrMismatch), which only
+	// happens after the schema and checksum validate.
+	var state json.RawMessage
+	err = checkpoint.Load(ckpt, "bogus/kind", 0, 0, &state)
+	if !errors.Is(err, checkpoint.ErrMismatch) {
+		t.Errorf("checkpoint probe error = %v, want ErrMismatch (intact envelope)", err)
+	}
 }

@@ -1,0 +1,193 @@
+package checkpoint
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+type demoState struct {
+	Done   []int     `json:"done"`
+	Hits   []int64   `json:"hits"`
+	Widths []float64 `json:"widths"`
+}
+
+func demo() demoState {
+	return demoState{
+		Done:   []int{0, 1, 5, 9},
+		Hits:   []int64{12, 0, 99},
+		Widths: []float64{0.25, 1.5e-3, 0},
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.json")
+	want := demo()
+	if err := Save(path, "demo", 7, 42, want); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	var got demoState
+	if err := Load(path, "demo", 7, 42, &got); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	a, _ := json.Marshal(want)
+	b, _ := json.Marshal(got)
+	if string(a) != string(b) {
+		t.Fatalf("round trip changed state:\n saved %s\nloaded %s", a, b)
+	}
+}
+
+func TestSaveReplacesAtomically(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.json")
+	if err := Save(path, "demo", 1, 1, demoState{Done: []int{1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(path, "demo", 1, 1, demoState{Done: []int{1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	var got demoState
+	if err := Load(path, "demo", 1, 1, &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Done) != 2 {
+		t.Fatalf("got %v, want the second save", got.Done)
+	}
+	// No leftover temp files.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("directory holds %d entries, want 1 (temp file leaked?)", len(entries))
+	}
+}
+
+func TestLoadRejectsMismatches(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.json")
+	if err := Save(path, "demo", 7, 42, demo()); err != nil {
+		t.Fatal(err)
+	}
+	var s demoState
+	for _, tc := range []struct {
+		name              string
+		kind              string
+		seed, fingerprint uint64
+	}{
+		{"wrong kind", "other", 7, 42},
+		{"wrong seed", "demo", 8, 42},
+		{"wrong fingerprint", "demo", 7, 43},
+	} {
+		err := Load(path, tc.kind, tc.seed, tc.fingerprint, &s)
+		if !errors.Is(err, ErrMismatch) {
+			t.Errorf("%s: err = %v, want ErrMismatch", tc.name, err)
+		}
+	}
+}
+
+func TestLoadRejectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ck.json")
+	if err := Save(path, "demo", 7, 42, demo()); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Every non-whitespace single-byte flip must fail loudly: either the
+	// JSON breaks, the schema string changes, or the checksum catches it.
+	// Whitespace bytes are outside the checksummed content by design —
+	// reformatting a checkpoint is harmless.
+	flipped := 0
+	for i, b := range raw {
+		if b == ' ' || b == '\n' || b == '\t' || b == '\r' {
+			continue
+		}
+		mut := append([]byte(nil), raw...)
+		mut[i] = b ^ 0x01
+		p := filepath.Join(dir, "mut.json")
+		if err := os.WriteFile(p, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var s demoState
+		if err := Load(p, "demo", 7, 42, &s); err == nil {
+			t.Fatalf("byte flip at offset %d (%q -> %q) loaded cleanly", i, b, mut[i])
+		}
+		flipped++
+	}
+	if flipped == 0 {
+		t.Fatal("no bytes flipped; test is vacuous")
+	}
+
+	// Truncation at any point must fail too.
+	for _, cut := range []int{0, 1, len(raw) / 2, len(raw) - 2} {
+		p := filepath.Join(dir, "trunc.json")
+		if err := os.WriteFile(p, raw[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var s demoState
+		err := Load(p, "demo", 7, 42, &s)
+		if !errors.Is(err, ErrCorrupt) {
+			t.Errorf("truncation to %d bytes: err = %v, want ErrCorrupt", cut, err)
+		}
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	var s demoState
+	err := Load(filepath.Join(t.TempDir(), "absent.json"), "demo", 1, 1, &s)
+	if err == nil {
+		t.Fatal("loading a missing file succeeded")
+	}
+	if !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("err = %v, want to wrap os.ErrNotExist", err)
+	}
+}
+
+func TestLoadRejectsWrongSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.json")
+	if err := Save(path, "demo", 1, 1, demo()); err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := os.ReadFile(path)
+	mut := strings.Replace(string(raw), Schema, "nodevar/checkpoint/v999", 1)
+	if err := os.WriteFile(path, []byte(mut), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var s demoState
+	err := Load(path, "demo", 1, 1, &s)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Errorf("err = %v, want ErrCorrupt for unknown schema", err)
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	base := func() *Fingerprint {
+		return NewFingerprint().Int(3, 5, 10).Float64(0.80, 0.95).Bool(false).String("lrz")
+	}
+	ref := base().Sum()
+	if base().Sum() != ref {
+		t.Fatal("fingerprint not deterministic")
+	}
+	for name, fp := range map[string]*Fingerprint{
+		"int changed":    NewFingerprint().Int(3, 5, 11).Float64(0.80, 0.95).Bool(false).String("lrz"),
+		"float changed":  NewFingerprint().Int(3, 5, 10).Float64(0.80, 0.951).Bool(false).String("lrz"),
+		"bool changed":   NewFingerprint().Int(3, 5, 10).Float64(0.80, 0.95).Bool(true).String("lrz"),
+		"string changed": NewFingerprint().Int(3, 5, 10).Float64(0.80, 0.95).Bool(false).String("lr z"),
+		"order changed":  NewFingerprint().Int(5, 3, 10).Float64(0.80, 0.95).Bool(false).String("lrz"),
+	} {
+		if fp.Sum() == ref {
+			t.Errorf("%s: fingerprint collision with reference", name)
+		}
+	}
+	// Length prefixing: ("ab","c") must differ from ("a","bc").
+	a := NewFingerprint().String("ab").String("c").Sum()
+	b := NewFingerprint().String("a").String("bc").Sum()
+	if a == b {
+		t.Error("adjacent strings alias without length prefixing")
+	}
+}

@@ -1,0 +1,67 @@
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzDecode drives the envelope decoder with arbitrary bytes plus
+// mutations of a valid checkpoint. The invariants: decode never panics,
+// never returns a non-nil envelope alongside an error, and any envelope
+// it does accept re-checksums cleanly — mutated-but-accepted input must
+// still be internally consistent, so corruption can never surface as a
+// silently different payload.
+func FuzzDecode(f *testing.F) {
+	valid := func(kind string, seed, fingerprint uint64, payload []byte) []byte {
+		env := Envelope{
+			Schema:      Schema,
+			Kind:        kind,
+			Seed:        seed,
+			Fingerprint: fingerprint,
+			Payload:     payload,
+			Checksum:    checksum(kind, seed, fingerprint, payload),
+		}
+		raw, err := json.MarshalIndent(&env, "", "  ")
+		if err != nil {
+			f.Fatal(err)
+		}
+		return raw
+	}
+	f.Add(valid("coverage_study", 7, 42, []byte(`{"done":[0,1],"hits":[3]}`)))
+	f.Add(valid("", 0, 0, nil))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(``))
+	f.Add([]byte(`{"schema":"nodevar/checkpoint/v1","kind":"x","seed":1,"fingerprint":2,"payload":"AAAA","checksum":0}`))
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		env, err := decode(raw)
+		if err != nil {
+			if env != nil {
+				t.Fatal("decode returned an envelope alongside an error")
+			}
+			return
+		}
+		if env.Schema != Schema {
+			t.Fatalf("accepted schema %q", env.Schema)
+		}
+		if got := checksum(env.Kind, env.Seed, env.Fingerprint, env.Payload); got != env.Checksum {
+			t.Fatalf("accepted envelope fails re-checksum: %08x != %08x", got, env.Checksum)
+		}
+		// Accepted envelopes round-trip: re-encoding and re-decoding
+		// yields the same identifying fields and payload.
+		re, err := json.Marshal(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		env2, err := decode(re)
+		if err != nil {
+			t.Fatalf("re-decode of accepted envelope failed: %v", err)
+		}
+		if env2.Kind != env.Kind || env2.Seed != env.Seed ||
+			env2.Fingerprint != env.Fingerprint || !bytes.Equal(env2.Payload, env.Payload) {
+			t.Fatal("accepted envelope did not round-trip")
+		}
+	})
+}

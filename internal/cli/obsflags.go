@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"sync"
 	"time"
 
 	"nodevar/internal/obs"
@@ -77,6 +78,12 @@ type Run struct {
 	start  time.Time
 	config map[string]any
 	faults *obs.FaultsSection
+
+	// mu guards the fields the signal-handler goroutine can touch.
+	mu     sync.Mutex
+	exec   ExecFlags
+	status string
+	signal string
 }
 
 // SetFaults records the run's fault-injection outcome for the manifest's
@@ -155,8 +162,22 @@ func (r *Run) Finish() error {
 	if p := r.flags.manifestPath(); p != "" {
 		m := obs.NewManifest(r.cmd, os.Args[1:], r.config, r.start, r.Tracer)
 		m.Faults = r.faults
+		r.mu.Lock()
+		if r.status != "" {
+			m.Status = r.status
+		}
+		if e := (ExecFlags{}); r.exec != e || r.signal != "" {
+			m.Exec = &obs.ExecSection{
+				TimeoutSec: r.exec.Timeout.Seconds(),
+				Checkpoint: r.exec.Checkpoint,
+				Resumed:    r.exec.Resume,
+				Signal:     r.signal,
+			}
+		}
+		m.Watchdog = obs.NewWatchdogSection(r.Tracer, r.exec.PhaseDeadline)
+		r.mu.Unlock()
 		fail(writeFile(p, m.WriteJSON))
-		r.Log.Debug("run manifest written", "path", p, "version", m.Version)
+		r.Log.Debug("run manifest written", "path", p, "version", m.Version, "status", m.Status)
 	}
 	r.Log.Debug("run finished", "cmd", r.cmd, "elapsed", time.Since(r.start).String())
 	return firstErr

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"nodevar/internal/cluster"
@@ -23,7 +24,7 @@ func init() {
 // exact t quantiles vs the z approximation, the finite population
 // correction, the near-normality assumption, and the fan/balance
 // mitigations of Section 5.
-func runAblation(opts Options) (Result, error) {
+func runAblation(ctx context.Context, opts Options) (Result, error) {
 	tables := make([]*report.Table, 0, 5)
 
 	// 1. t vs z interval coverage (paper Section 4.2 caveat).
@@ -31,7 +32,7 @@ func runAblation(opts Options) (Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	cmp, err := sampling.CompareIntervals(sampling.CoverageConfig{
+	cmp, err := sampling.CompareIntervalsCtx(ctx, sampling.CoverageConfig{
 		Pilot:       pilot,
 		Population:  systems.LRZ.TotalNodes,
 		SampleSizes: []int{3, 5, 15, 50},

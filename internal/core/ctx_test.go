@@ -1,0 +1,124 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nodevar/internal/parallel"
+	"nodevar/internal/systems"
+)
+
+// withTestRunner installs a throwaway experiment for the duration of one
+// test. Safe because the registry is only mutated before the test body's
+// concurrency starts.
+func withTestRunner(t *testing.T, id ID, r Runner) {
+	t.Helper()
+	if _, exists := registry[id]; exists {
+		t.Fatalf("test runner id %q collides with a real experiment", id)
+	}
+	registry[id] = r
+	t.Cleanup(func() { delete(registry, id) })
+}
+
+func TestRunCtxRecoversRunnerPanic(t *testing.T) {
+	withTestRunner(t, "panic-direct", func(ctx context.Context, o Options) (Result, error) {
+		panic("direct runner explosion")
+	})
+	res, err := RunCtx(context.Background(), "panic-direct", Options{})
+	if res != nil {
+		t.Fatal("panicking runner returned a result")
+	}
+	if err == nil || !strings.Contains(err.Error(), "direct runner explosion") {
+		t.Fatalf("err = %v, want the panic value surfaced", err)
+	}
+}
+
+func TestRunCtxRecoversWorkerPanic(t *testing.T) {
+	// A panic inside a legacy void parallel call is isolated by the
+	// worker, re-raised on the runner goroutine as *PanicError, and
+	// RunCtx converts it to an error that still unwraps to the
+	// PanicError with its worker stack.
+	withTestRunner(t, "panic-worker", func(ctx context.Context, o Options) (Result, error) {
+		parallel.For(64, func(i int) {
+			if i == 13 {
+				panic("worker explosion")
+			}
+		})
+		return nil, nil
+	})
+	_, err := RunCtx(context.Background(), "panic-worker", Options{})
+	var pe *parallel.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want to unwrap to *PanicError", err)
+	}
+	if pe.Value != "worker explosion" || len(pe.Stack) == 0 {
+		t.Fatalf("PanicError lost its payload: %+v", pe)
+	}
+}
+
+func TestRunAllCtxCollectsAllFailures(t *testing.T) {
+	withTestRunner(t, "aa-fail", func(ctx context.Context, o Options) (Result, error) {
+		return nil, errors.New("first failure")
+	})
+	withTestRunner(t, "ab-fail", func(ctx context.Context, o Options) (Result, error) {
+		return nil, errors.New("second failure")
+	})
+	systems.ResetCalibrationCache()
+	results, err := RunAllCtx(context.Background(), Options{Replicates: 200, MeasurementTrials: 8, TraceSamples: 64})
+	var es ExperimentErrors
+	if !errors.As(err, &es) {
+		t.Fatalf("err = %T %v, want ExperimentErrors", err, err)
+	}
+	if len(es) != 2 {
+		t.Fatalf("collected %d failures, want 2: %v", len(es), es)
+	}
+	msg := es.Error()
+	if !strings.Contains(msg, "first failure") || !strings.Contains(msg, "second failure") {
+		t.Fatalf("summary hides a failure: %q", msg)
+	}
+	// The healthy experiments still produced results.
+	ok := 0
+	for _, r := range results {
+		if r != nil {
+			ok++
+		}
+	}
+	if ok == 0 {
+		t.Fatal("no sibling experiment survived two injected failures")
+	}
+}
+
+func TestRunAllCtxCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunAllCtx(ctx, Options{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestFigure3CheckpointOptionsThread(t *testing.T) {
+	// A canceled figure3 leaves a checkpoint; resuming completes and the
+	// checkpoint file stays loadable by a fresh run with the same options.
+	systems.ResetCalibrationCache()
+	opts := Options{
+		Replicates:     4000,
+		CheckpointPath: filepath.Join(t.TempDir(), "fig3.ckpt"),
+		Resume:         true,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunCtx(ctx, Figure3, opts); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled figure3: err = %v, want context.Canceled", err)
+	}
+	res, err := RunCtx(context.Background(), Figure3, opts)
+	if err != nil {
+		t.Fatalf("resumed figure3: %v", err)
+	}
+	if res == nil || res.ID() != Figure3 {
+		t.Fatalf("resumed figure3 returned %v", res)
+	}
+}

@@ -5,11 +5,13 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"sort"
 	"strconv"
+	"strings"
 	"time"
 
 	"nodevar/internal/obs"
@@ -57,6 +59,15 @@ type Options struct {
 	// MeasurementTrials is how many repeated measurements the rules
 	// experiment takes per configuration (default 200).
 	MeasurementTrials int
+
+	// CheckpointPath, when non-empty, makes the long experiments
+	// (currently the Figure 3 coverage study) save resumable progress
+	// there; see sampling.CoverageConfig.Checkpoint.
+	CheckpointPath string
+	// CheckpointEvery is the save cadence in completed work chunks.
+	CheckpointEvery int
+	// Resume loads existing progress from CheckpointPath before running.
+	Resume bool
 }
 
 func (o Options) fill() Options {
@@ -97,8 +108,11 @@ type Result interface {
 	Figures() []Figure
 }
 
-// Runner produces one experiment.
-type Runner func(Options) (Result, error)
+// Runner produces one experiment. Runners observe ctx cooperatively:
+// a canceled context makes long-running runners return ctx.Err()
+// promptly (after flushing any configured checkpoint) instead of
+// running to completion.
+type Runner func(context.Context, Options) (Result, error)
 
 // registry maps IDs to runners.
 var registry = map[ID]Runner{
@@ -132,6 +146,14 @@ var ErrUnknownExperiment = errors.New("core: unknown experiment")
 // "experiment" span (when a tracer is installed) and counted, so
 // RunAll's schedule is visible stage by stage in the Chrome trace.
 func Run(id ID, opts Options) (Result, error) {
+	return RunCtx(context.Background(), id, opts)
+}
+
+// RunCtx is Run with cooperative cancellation. A runner panic — whether
+// on this goroutine or inside a parallel worker — is recovered and
+// returned as an error, so one broken experiment can never take down a
+// process that is juggling several.
+func RunCtx(ctx context.Context, id ID, opts Options) (res Result, err error) {
 	r, ok := registry[id]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownExperiment, id)
@@ -140,14 +162,71 @@ func Run(id ID, opts Options) (Result, error) {
 	sp := obs.T().Start("experiment", string(id))
 	sp.Attr("seed", strconv.FormatUint(opts.Seed, 10))
 	t0 := time.Now()
-	res, err := r(opts)
-	hExperiment.Observe(time.Since(t0).Seconds())
-	if err != nil {
-		sp.Attr("error", err.Error())
-	}
-	sp.End()
-	mExperiments.Inc()
+	defer func() {
+		if v := recover(); v != nil {
+			var pe *parallel.PanicError
+			if errors.As(asError(v), &pe) {
+				// A worker panic already isolated by the parallel layer and
+				// re-raised by a legacy void entry point; keep its stack.
+				err = fmt.Errorf("core: %s: %w", id, pe)
+			} else {
+				err = fmt.Errorf("core: %s: runner panic: %v", id, v)
+			}
+			res = nil
+		}
+		hExperiment.Observe(time.Since(t0).Seconds())
+		if err != nil {
+			sp.Attr("error", err.Error())
+		}
+		sp.End()
+		mExperiments.Inc()
+	}()
+	res, err = r(ctx, opts)
 	return res, err
+}
+
+// asError converts a recovered panic value into an error for errors.As
+// inspection without losing non-error values.
+func asError(v any) error {
+	if err, ok := v.(error); ok {
+		return err
+	}
+	return fmt.Errorf("%v", v)
+}
+
+// ExperimentError ties a failure to the experiment that produced it.
+type ExperimentError struct {
+	ID  ID
+	Err error
+}
+
+func (e *ExperimentError) Error() string { return fmt.Sprintf("%s: %v", e.ID, e.Err) }
+func (e *ExperimentError) Unwrap() error { return e.Err }
+
+// ExperimentErrors aggregates per-experiment failures from a batch run:
+// every experiment gets its chance to run, and the summary names each
+// failure instead of letting the first one hide the rest.
+type ExperimentErrors []*ExperimentError
+
+func (es ExperimentErrors) Error() string {
+	if len(es) == 1 {
+		return fmt.Sprintf("core: 1 experiment failed: %v", es[0])
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "core: %d experiments failed:", len(es))
+	for _, e := range es {
+		fmt.Fprintf(&b, "\n  %v", e)
+	}
+	return b.String()
+}
+
+// Unwrap exposes the individual failures to errors.Is/As.
+func (es ExperimentErrors) Unwrap() []error {
+	out := make([]error, len(es))
+	for i, e := range es {
+		out[i] = e
+	}
+	return out
 }
 
 // RunAll executes every experiment and returns the results in stable ID
@@ -158,21 +237,48 @@ func Run(id ID, opts Options) (Result, error) {
 // deduplicated by the systems package's singleflight cache, so the first
 // experiment to need a trace fits it and the rest wait for that fit.
 func RunAll(opts Options) ([]Result, error) {
+	return RunAllCtx(context.Background(), opts)
+}
+
+// RunAllCtx is RunAll with cooperative cancellation and full error
+// collection. Unlike a fail-fast batch, every experiment runs even when
+// siblings fail; the error is then an ExperimentErrors listing each
+// failure. On cancellation the returned slice still carries the results
+// that completed (others nil) alongside ctx.Err(); experiments that died
+// only because the context was canceled are not double-reported.
+func RunAllCtx(ctx context.Context, opts Options) ([]Result, error) {
 	mRunAll.Inc()
 	sp := obs.T().Start("phase", "run_all")
 	defer sp.End()
 	ids := IDs()
 	out := make([]Result, len(ids))
 	errs := make([]error, len(ids))
-	parallel.ForDynamic(len(ids), func(i int) {
-		out[i], errs[i] = Run(ids[i], opts)
+	runErr := parallel.ForDynamicCtx(ctx, len(ids), func(i int) {
+		out[i], errs[i] = RunCtx(ctx, ids[i], opts)
 	})
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("core: %s: %w", ids[i], err)
+	if runErr != nil {
+		var pe *parallel.PanicError
+		if errors.As(runErr, &pe) {
+			// Should be unreachable — RunCtx recovers runner panics — but
+			// never swallow a panic if a future runner finds a new way.
+			return out, runErr
 		}
 	}
-	return out, nil
+	var failed ExperimentErrors
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			// The cancellation is reported once, via runErr.
+			continue
+		}
+		failed = append(failed, &ExperimentError{ID: ids[i], Err: err})
+	}
+	if len(failed) > 0 {
+		return out, failed
+	}
+	return out, runErr
 }
 
 // RunAllSequential executes every experiment one after another in stable

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -13,7 +14,7 @@ import (
 
 // runFigure1 reproduces the system-power-over-time plot for the four HPL
 // runs, on a normalized time axis as in the paper.
-func runFigure1(opts Options) (Result, error) {
+func runFigure1(_ context.Context, opts Options) (Result, error) {
 	rows, traces, err := reproduceTable2(opts)
 	if err != nil {
 		return nil, err
@@ -62,7 +63,7 @@ func runFigure1(opts Options) (Result, error) {
 
 // runFigure2 reproduces the per-node power histograms for the six
 // inter-node study systems.
-func runFigure2(opts Options) (Result, error) {
+func runFigure2(_ context.Context, opts Options) (Result, error) {
 	var charts []*report.HistogramChart
 	summary := report.NewTable("Figure 2 summary: per-node power distributions",
 		"System", "Nodes", "Min (W)", "Median (W)", "Max (W)", "Skewness", "Near-normal")
@@ -118,18 +119,21 @@ var figure3SampleSizes = []int{3, 5, 10, 15, 20, 30, 50, 100}
 
 // runFigure3 reproduces the bootstrap CI-coverage calibration study on
 // the LRZ pilot sample.
-func runFigure3(opts Options) (Result, error) {
+func runFigure3(ctx context.Context, opts Options) (Result, error) {
 	pilot, err := systems.PilotSample(systems.LRZ, opts.Seed, 516)
 	if err != nil {
 		return nil, err
 	}
-	points, err := sampling.CoverageStudy(sampling.CoverageConfig{
-		Pilot:       pilot,
-		Population:  systems.LRZ.TotalNodes,
-		SampleSizes: figure3SampleSizes,
-		Levels:      []float64{0.80, 0.95, 0.99},
-		Replicates:  opts.Replicates,
-		Seed:        opts.Seed,
+	points, err := sampling.CoverageStudyCtx(ctx, sampling.CoverageConfig{
+		Pilot:           pilot,
+		Population:      systems.LRZ.TotalNodes,
+		SampleSizes:     figure3SampleSizes,
+		Levels:          []float64{0.80, 0.95, 0.99},
+		Replicates:      opts.Replicates,
+		Seed:            opts.Seed,
+		Checkpoint:      opts.CheckpointPath,
+		CheckpointEvery: opts.CheckpointEvery,
+		Resume:          opts.Resume,
 	})
 	if err != nil {
 		return nil, err
@@ -180,7 +184,7 @@ func runFigure3(opts Options) (Result, error) {
 }
 
 // runFigure4 reproduces the L-CSC VID case study.
-func runFigure4(opts Options) (Result, error) {
+func runFigure4(_ context.Context, opts Options) (Result, error) {
 	study, err := systems.RunVIDStudy(systems.VIDStudyConfig{Seed: opts.Seed})
 	if err != nil {
 		return nil, err

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"nodevar/internal/methodology"
@@ -24,7 +25,7 @@ var paperGaming = map[string]string{
 // runGaming reproduces Section 3's measurement-interval gaming analysis:
 // for each system, the most favourable legal Level-1 window versus the
 // full-core-phase truth, plus the effect of the paper's revised rule.
-func runGaming(opts Options) (Result, error) {
+func runGaming(_ context.Context, opts Options) (Result, error) {
 	t := report.NewTable("Section 3: optimal-interval gaming under the original Level 1 timing rule",
 		"System", "True avg (kW)", "Best window (kW)", "Power reduction",
 		"Efficiency gain", "Paper")

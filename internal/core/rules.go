@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"nodevar/internal/cluster"
@@ -94,7 +95,7 @@ func summarizeErrors(errs []float64) errorStats {
 // runRules is the end-to-end integration experiment: repeated
 // measurements of one simulated machine under the original levels and
 // the paper's revised rule, quantifying the spread each rule permits.
-func runRules(opts Options) (Result, error) {
+func runRules(_ context.Context, opts Options) (Result, error) {
 	target, err := rulesCluster(opts)
 	if err != nil {
 		return nil, err

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"nodevar/internal/methodology"
@@ -13,7 +14,7 @@ import (
 )
 
 // runTable1 renders the EE HPC WG level requirements (Table 1).
-func runTable1(Options) (Result, error) {
+func runTable1(_ context.Context, _ Options) (Result, error) {
 	t := report.NewTable("Table 1: EE HPC WG methodology requirements by quality level",
 		"Aspect", "Level 1", "Level 2", "Level 3")
 	specs := []methodology.Spec{
@@ -101,7 +102,7 @@ func reproduceTable2(opts Options) ([]table2Row, []*power.Trace, error) {
 
 // runTable2 reproduces Table 2: runtime and segment average power of the
 // four HPL runs.
-func runTable2(opts Options) (Result, error) {
+func runTable2(_ context.Context, opts Options) (Result, error) {
 	rows, _, err := reproduceTable2(opts)
 	if err != nil {
 		return nil, err
@@ -142,7 +143,7 @@ func maxRel(pairs ...float64) float64 {
 }
 
 // runTable3 renders the test-system configuration table.
-func runTable3(Options) (Result, error) {
+func runTable3(_ context.Context, _ Options) (Result, error) {
 	t := report.NewTable("Table 3: test systems",
 		"System", "CPUs per node", "RAM per node", "Components measured", "Workload")
 	for _, s := range []systems.Spec{
@@ -159,7 +160,7 @@ func runTable3(Options) (Result, error) {
 }
 
 // runTable4 reproduces the per-node power statistics.
-func runTable4(opts Options) (Result, error) {
+func runTable4(_ context.Context, opts Options) (Result, error) {
 	t := report.NewTable("Table 4: per-node power statistics",
 		"System", "Nodes/Blades (N)", "Sample mean (W)", "Std dev (W)", "sigma/mu",
 		"Paper mean", "Paper sd")
@@ -187,7 +188,7 @@ func runTable4(opts Options) (Result, error) {
 
 // runTable5 reproduces the recommended-sample-size grid plus the
 // introduction's 1/64-rule accuracy examples.
-func runTable5(Options) (Result, error) {
+func runTable5(_ context.Context, _ Options) (Result, error) {
 	grid := sampling.PaperTable5()
 	t := report.NewTable("Table 5: recommended sample sizes (N = 10000, 95% confidence)",
 		"accuracy λ", "σ/μ = 2%", "σ/μ = 3%", "σ/μ = 5%")

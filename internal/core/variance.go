@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"nodevar/internal/meter"
@@ -31,7 +32,7 @@ type varianceFactor struct {
 // runVarianceDecomp measures each error source in isolation and all of
 // them together, reporting standard deviations of the reported power in
 // percent of truth.
-func runVarianceDecomp(opts Options) (Result, error) {
+func runVarianceDecomp(_ context.Context, opts Options) (Result, error) {
 	target, err := rulesCluster(opts)
 	if err != nil {
 		return nil, err

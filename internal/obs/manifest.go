@@ -13,13 +13,41 @@ import (
 )
 
 // ManifestSchema identifies the manifest layout; bump on breaking
-// changes. v2 added the optional "faults" section describing injected
-// faults and the resulting data completeness; v1 manifests (no faults
-// section) are still readable via ReadManifest.
+// changes. v3 added the run status plus the optional "exec" (timeout,
+// checkpoint, signal) and "watchdog" (per-phase deadline overruns)
+// sections; v2 added the optional "faults" section describing injected
+// faults and the resulting data completeness. Both earlier schemas are
+// still readable via ReadManifest.
 const (
-	ManifestSchema   = "nodevar/run-manifest/v2"
+	ManifestSchema   = "nodevar/run-manifest/v3"
+	ManifestSchemaV2 = "nodevar/run-manifest/v2"
 	ManifestSchemaV1 = "nodevar/run-manifest/v1"
 )
+
+// Run statuses recorded in a v3 manifest. A manifest is written on
+// every exit path — the status says which one the run took.
+const (
+	// StatusOK is a run that completed normally.
+	StatusOK = "ok"
+	// StatusInterrupted is a run canceled by SIGINT/SIGTERM; its partial
+	// artifacts (checkpoint, metrics up to the signal) are valid.
+	StatusInterrupted = "interrupted"
+	// StatusTimeout is a run canceled by its own -timeout deadline.
+	StatusTimeout = "timeout"
+	// StatusFailed is a run that exited with an error.
+	StatusFailed = "failed"
+)
+
+// ExecSection records the execution-control envelope of a run: the
+// configured timeout, the checkpoint file in play, whether the run
+// resumed from it, and the signal that ended the run early (if any).
+// Written only when at least one of those is in effect.
+type ExecSection struct {
+	TimeoutSec float64 `json:"timeout_sec,omitempty"`
+	Checkpoint string  `json:"checkpoint,omitempty"`
+	Resumed    bool    `json:"resumed,omitempty"`
+	Signal     string  `json:"signal,omitempty"`
+}
 
 // FaultsSection records a run's fault-injection schedule and what it
 // cost: the seed and schedule for byte-identical replay, the observed
@@ -75,6 +103,16 @@ type Manifest struct {
 	// Faults describes injected faults and data completeness (v2; nil
 	// for fault-free runs and all v1 manifests).
 	Faults *FaultsSection `json:"faults,omitempty"`
+
+	// Status is how the run ended: one of the Status* constants (v3;
+	// empty in older manifests).
+	Status string `json:"status,omitempty"`
+	// Exec is the execution-control envelope (v3; nil when no timeout,
+	// checkpoint or signal was involved).
+	Exec *ExecSection `json:"exec,omitempty"`
+	// Watchdog reports phases that overran the configured per-phase
+	// deadline (v3; nil when no deadline was set).
+	Watchdog *WatchdogSection `json:"watchdog,omitempty"`
 }
 
 // WriteJSON writes the manifest as indented JSON.
@@ -85,9 +123,10 @@ func (m *Manifest) WriteJSON(w io.Writer) error {
 }
 
 // ReadManifest parses a manifest written by this or an earlier version
-// of the tool. It accepts the current v2 schema and the v1 schema (v1
-// manifests simply carry no faults section); any other schema string is
-// an error.
+// of the tool. It accepts the current v3 schema, the v2 schema (no
+// status/exec/watchdog) and the v1 schema (additionally no faults
+// section); any other schema string — or an older schema carrying
+// newer-schema sections — is an error.
 func ReadManifest(r io.Reader) (*Manifest, error) {
 	var m Manifest
 	dec := json.NewDecoder(r)
@@ -96,13 +135,27 @@ func ReadManifest(r io.Reader) (*Manifest, error) {
 	}
 	switch m.Schema {
 	case ManifestSchema:
+		if m.Status != "" {
+			switch m.Status {
+			case StatusOK, StatusInterrupted, StatusTimeout, StatusFailed:
+			default:
+				return nil, fmt.Errorf("obs: unknown manifest status %q", m.Status)
+			}
+		}
+	case ManifestSchemaV2:
+		if m.Status != "" || m.Exec != nil || m.Watchdog != nil {
+			return nil, fmt.Errorf("obs: %s manifest carries v3 sections", ManifestSchemaV2)
+		}
 	case ManifestSchemaV1:
+		if m.Status != "" || m.Exec != nil || m.Watchdog != nil {
+			return nil, fmt.Errorf("obs: %s manifest carries v3 sections", ManifestSchemaV1)
+		}
 		if m.Faults != nil {
 			return nil, fmt.Errorf("obs: %s manifest carries a v2 faults section", ManifestSchemaV1)
 		}
 	default:
-		return nil, fmt.Errorf("obs: unsupported manifest schema %q (want %s or %s)",
-			m.Schema, ManifestSchema, ManifestSchemaV1)
+		return nil, fmt.Errorf("obs: unsupported manifest schema %q (want %s, %s or %s)",
+			m.Schema, ManifestSchema, ManifestSchemaV2, ManifestSchemaV1)
 	}
 	return &m, nil
 }
@@ -169,6 +222,7 @@ func NewManifest(command string, args []string, config map[string]any, start tim
 		DurationSec: end.Sub(start).Seconds(),
 		Config:      config,
 		Metrics:     Default().Snapshot(),
+		Status:      StatusOK,
 	}
 	if tracer != nil {
 		m.Phases = tracer.PhaseTimings()

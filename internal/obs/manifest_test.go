@@ -19,7 +19,7 @@ func degradedManifest() *Manifest {
 	start := time.Date(2026, 2, 3, 10, 0, 0, 0, time.UTC)
 	end := start.Add(90 * time.Second)
 	return &Manifest{
-		Schema:      ManifestSchema,
+		Schema:      ManifestSchemaV2,
 		Command:     "powersim",
 		Args:        []string{"-nodes", "128", "-faults", "seed=7,drop=0.01,meterdrop=0.05"},
 		Version:     "test-fixed",
@@ -65,6 +65,31 @@ func v1Manifest() *Manifest {
 	return m
 }
 
+// interruptedManifest builds the fixed manifest the v3 golden file
+// pins: a run ended by SIGINT with a checkpoint in play and a phase
+// over its deadline.
+func interruptedManifest() *Manifest {
+	m := degradedManifest()
+	m.Schema = ManifestSchema
+	m.Command = "repro"
+	m.Args = []string{"-exp", "figure3", "-checkpoint", "fig3.ckpt", "-timeout", "10m"}
+	m.Faults = nil
+	m.Status = StatusInterrupted
+	m.Exec = &ExecSection{
+		TimeoutSec: 600,
+		Checkpoint: "fig3.ckpt",
+		Resumed:    true,
+		Signal:     "interrupt",
+	}
+	m.Watchdog = &WatchdogSection{
+		PhaseDeadlineSec: 60,
+		Overruns: []PhaseOverrun{
+			{Cat: "sim", Name: "run", MaxMS: 80000, DeadlineMS: 60000},
+		},
+	}
+	return m
+}
+
 func goldenPath(name string) string {
 	return filepath.Join("testdata", name)
 }
@@ -92,15 +117,38 @@ func checkGolden(t *testing.T, name string, m *Manifest) []byte {
 	return want
 }
 
-func TestManifestV2Golden(t *testing.T) {
-	data := checkGolden(t, "run-manifest-v2.golden.json", degradedManifest())
+func TestManifestV3Golden(t *testing.T) {
+	data := checkGolden(t, "run-manifest-v3.golden.json", interruptedManifest())
 
 	m, err := ReadManifest(bytes.NewReader(data))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if m.Schema != ManifestSchema {
+	if m.Schema != ManifestSchema || m.Status != StatusInterrupted {
+		t.Errorf("schema %q status %q", m.Schema, m.Status)
+	}
+	if m.Exec == nil || m.Exec.Signal != "interrupt" || m.Exec.Checkpoint != "fig3.ckpt" ||
+		!m.Exec.Resumed || m.Exec.TimeoutSec != 600 {
+		t.Errorf("exec section round-trip: %+v", m.Exec)
+	}
+	if m.Watchdog == nil || m.Watchdog.PhaseDeadlineSec != 60 ||
+		len(m.Watchdog.Overruns) != 1 || m.Watchdog.Overruns[0].Name != "run" {
+		t.Errorf("watchdog section round-trip: %+v", m.Watchdog)
+	}
+}
+
+func TestManifestV2BackCompat(t *testing.T) {
+	data := checkGolden(t, "run-manifest-v2.golden.json", degradedManifest())
+
+	m, err := ReadManifest(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("v2 manifest no longer readable: %v", err)
+	}
+	if m.Schema != ManifestSchemaV2 {
 		t.Errorf("schema %q", m.Schema)
+	}
+	if m.Status != "" || m.Exec != nil || m.Watchdog != nil {
+		t.Errorf("v2 manifest grew v3 sections: %+v", m)
 	}
 	f := m.Faults
 	if f == nil {
@@ -143,5 +191,17 @@ func TestReadManifestRejects(t *testing.T) {
 	v1WithFaults := `{"schema":"nodevar/run-manifest/v1","faults":{"seed":1}}`
 	if _, err := ReadManifest(strings.NewReader(v1WithFaults)); err == nil {
 		t.Error("v1 manifest with a v2 faults section accepted")
+	}
+	v2WithStatus := `{"schema":"nodevar/run-manifest/v2","status":"ok"}`
+	if _, err := ReadManifest(strings.NewReader(v2WithStatus)); err == nil {
+		t.Error("v2 manifest with a v3 status accepted")
+	}
+	v2WithExec := `{"schema":"nodevar/run-manifest/v2","exec":{"signal":"interrupt"}}`
+	if _, err := ReadManifest(strings.NewReader(v2WithExec)); err == nil {
+		t.Error("v2 manifest with a v3 exec section accepted")
+	}
+	v3BadStatus := `{"schema":"nodevar/run-manifest/v3","status":"exploded"}`
+	if _, err := ReadManifest(strings.NewReader(v3BadStatus)); err == nil {
+		t.Error("v3 manifest with an unknown status accepted")
 	}
 }

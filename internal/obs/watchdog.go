@@ -1,0 +1,58 @@
+package obs
+
+import "time"
+
+// PhaseOverrun names one traced phase whose longest span exceeded the
+// configured per-phase deadline.
+type PhaseOverrun struct {
+	Cat        string  `json:"cat"`
+	Name       string  `json:"name"`
+	MaxMS      float64 `json:"max_ms"`
+	DeadlineMS float64 `json:"deadline_ms"`
+}
+
+// WatchdogSection is the manifest's record of the per-phase deadline
+// watchdog: the deadline that was in force and every phase that blew
+// through it. An empty Overruns list is itself information — the
+// deadline was watched and nothing overran.
+type WatchdogSection struct {
+	PhaseDeadlineSec float64        `json:"phase_deadline_sec"`
+	Overruns         []PhaseOverrun `json:"overruns,omitempty"`
+}
+
+// PhaseOverruns scans aggregated phase timings for spans that ran longer
+// than deadline. The watchdog is forensic, not preemptive: phases are
+// judged from the tracer's completed spans at manifest time, so a slow
+// phase is named in the manifest rather than killed mid-flight (the
+// -timeout flag is the preemptive control).
+func PhaseOverruns(timings []PhaseTiming, deadline time.Duration) []PhaseOverrun {
+	if deadline <= 0 {
+		return nil
+	}
+	limitMS := float64(deadline) / float64(time.Millisecond)
+	var out []PhaseOverrun
+	for _, pt := range timings {
+		if pt.MaxMS > limitMS {
+			out = append(out, PhaseOverrun{
+				Cat:        pt.Cat,
+				Name:       pt.Name,
+				MaxMS:      pt.MaxMS,
+				DeadlineMS: limitMS,
+			})
+		}
+	}
+	return out
+}
+
+// NewWatchdogSection evaluates the deadline against the tracer's phase
+// timings and returns the manifest section, or nil when no deadline is
+// configured.
+func NewWatchdogSection(tracer *Tracer, deadline time.Duration) *WatchdogSection {
+	if deadline <= 0 || tracer == nil {
+		return nil
+	}
+	return &WatchdogSection{
+		PhaseDeadlineSec: deadline.Seconds(),
+		Overruns:         PhaseOverruns(tracer.PhaseTimings(), deadline),
+	}
+}

@@ -1,0 +1,54 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPhaseOverruns(t *testing.T) {
+	timings := []PhaseTiming{
+		{Cat: "phase", Name: "calibrate", Count: 4, TotalMS: 400, MaxMS: 150},
+		{Cat: "phase", Name: "coverage_study", Count: 1, TotalMS: 90000, MaxMS: 90000},
+		{Cat: "experiment", Name: "table1", Count: 1, TotalMS: 20, MaxMS: 20},
+	}
+	over := PhaseOverruns(timings, 1*time.Second)
+	if len(over) != 1 {
+		t.Fatalf("got %d overruns, want 1: %+v", len(over), over)
+	}
+	o := over[0]
+	if o.Name != "coverage_study" || o.MaxMS != 90000 || o.DeadlineMS != 1000 {
+		t.Errorf("overrun = %+v", o)
+	}
+	if got := PhaseOverruns(timings, 0); got != nil {
+		t.Errorf("zero deadline produced overruns: %+v", got)
+	}
+	if got := PhaseOverruns(timings, 2*time.Minute); got != nil {
+		t.Errorf("generous deadline produced overruns: %+v", got)
+	}
+}
+
+func TestNewWatchdogSection(t *testing.T) {
+	tr := NewTracer(64)
+	sp := tr.Start("phase", "slow")
+	time.Sleep(5 * time.Millisecond)
+	sp.End()
+
+	if s := NewWatchdogSection(tr, 0); s != nil {
+		t.Errorf("no deadline yielded a section: %+v", s)
+	}
+	if s := NewWatchdogSection(nil, time.Second); s != nil {
+		t.Errorf("nil tracer yielded a section: %+v", s)
+	}
+	s := NewWatchdogSection(tr, time.Millisecond)
+	if s == nil || s.PhaseDeadlineSec != 0.001 {
+		t.Fatalf("section = %+v", s)
+	}
+	if len(s.Overruns) != 1 || s.Overruns[0].Name != "slow" {
+		t.Errorf("overruns = %+v", s.Overruns)
+	}
+	// A quiet watchdog still records that it watched.
+	quiet := NewWatchdogSection(tr, time.Minute)
+	if quiet == nil || len(quiet.Overruns) != 0 {
+		t.Errorf("quiet watchdog = %+v", quiet)
+	}
+}

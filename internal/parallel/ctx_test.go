@@ -1,0 +1,301 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"nodevar/internal/rng"
+)
+
+func TestForCtxCanceledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var calls int64
+	err := ForCtx(ctx, 1000, func(i int) { atomic.AddInt64(&calls, 1) })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if calls != 0 {
+		t.Errorf("%d body calls after pre-canceled context, want 0", calls)
+	}
+}
+
+func TestForCtxCancelMidRunNeverTearsChunks(t *testing.T) {
+	// Cancel partway through; every index either ran exactly once or not
+	// at all, and whole chunks are the unit — a started chunk finishes.
+	const n = 10000
+	ctx, cancel := context.WithCancel(context.Background())
+	var counts [n]int64
+	var seen atomic.Int64
+	err := ForCtx(ctx, n, func(i int) {
+		if seen.Add(1) == 50 {
+			cancel()
+		}
+		atomic.AddInt64(&counts[i], 1)
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	ran := 0
+	for i, c := range counts {
+		if c > 1 {
+			t.Fatalf("index %d ran %d times", i, c)
+		}
+		ran += int(c)
+	}
+	if ran == 0 || ran == n {
+		t.Fatalf("ran %d of %d indices; want a genuine partial run", ran, n)
+	}
+	// Chunk atomicity: within each scheduled chunk, the indices that ran
+	// form complete chunks, never a prefix of one.
+	for _, r := range itemRanges(n) {
+		chunkRan := 0
+		for i := r.Lo; i < r.Hi; i++ {
+			chunkRan += int(counts[i])
+		}
+		if chunkRan != 0 && chunkRan != r.Hi-r.Lo {
+			t.Fatalf("chunk %+v partially ran (%d of %d): torn chunk", r, chunkRan, r.Hi-r.Lo)
+		}
+	}
+}
+
+func TestForCtxCompletesWithoutCancel(t *testing.T) {
+	const n = 500
+	var counts [n]int64
+	if err := ForCtx(context.Background(), n, func(i int) { atomic.AddInt64(&counts[i], 1) }); err != nil {
+		t.Fatalf("err = %v, want nil", err)
+	}
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("index %d ran %d times", i, c)
+		}
+	}
+}
+
+func TestWorkerPanicSurfacesAsPanicError(t *testing.T) {
+	err := ForCtx(context.Background(), 100, func(i int) {
+		if i == 37 {
+			panic("boom at 37")
+		}
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v (%T), want *PanicError", err, err)
+	}
+	if pe.Value != "boom at 37" {
+		t.Errorf("PanicError.Value = %v, want boom at 37", pe.Value)
+	}
+	if len(pe.Stack) == 0 || !strings.Contains(string(pe.Stack), "parallel") {
+		t.Errorf("PanicError.Stack missing or unhelpful: %q", pe.Stack)
+	}
+	if !strings.Contains(pe.Error(), "boom at 37") {
+		t.Errorf("Error() = %q, want it to mention the panic value", pe.Error())
+	}
+}
+
+func TestWorkerPanicCountsMetricAndAborts(t *testing.T) {
+	before := mParPanics.Value()
+	var after atomic.Int64
+	err := ForDynamicCtx(context.Background(), 64, func(i int) {
+		if i == 0 {
+			panic("first item dies")
+		}
+		after.Add(1)
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	if got := mParPanics.Value() - before; got < 1 {
+		t.Errorf("panic metric advanced by %d, want >= 1", got)
+	}
+	// Remaining work is abandoned: strictly fewer than all other items ran.
+	if after.Load() >= 63 {
+		t.Errorf("%d items ran after the panic; abort did not stop scheduling", after.Load())
+	}
+}
+
+func TestLegacyForRePanicsWithPanicError(t *testing.T) {
+	defer func() {
+		v := recover()
+		pe, ok := v.(*PanicError)
+		if !ok {
+			t.Fatalf("recovered %v (%T), want *PanicError", v, v)
+		}
+		if pe.Value != "legacy boom" {
+			t.Errorf("PanicError.Value = %v", pe.Value)
+		}
+	}()
+	For(10, func(i int) {
+		if i == 3 {
+			panic("legacy boom")
+		}
+	})
+	t.Fatal("For returned instead of panicking")
+}
+
+func TestMetricsFlushedOnErrorPaths(t *testing.T) {
+	// Satellite: wall/busy counters must be flushed even when the call
+	// fails early (cancellation or panic), not only on success.
+	wall0, busy0, calls0 := fParWall.Value(), fParBusy.Value(), mParCalls.Value()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_ = ForCtx(ctx, 1000, func(int) {})
+
+	_ = ForCtx(context.Background(), 1000, func(i int) {
+		if i == 0 {
+			panic("metric flush check")
+		}
+	})
+
+	if got := mParCalls.Value() - calls0; got != 2 {
+		t.Errorf("calls advanced by %d, want 2", got)
+	}
+	if fParWall.Value() <= wall0 {
+		t.Error("wall counter not flushed on error paths")
+	}
+	if fParBusy.Value() < busy0 {
+		t.Error("busy counter went backwards")
+	}
+}
+
+func TestMapCtxPartialOnCancel(t *testing.T) {
+	const n = 8192
+	ctx, cancel := context.WithCancel(context.Background())
+	var seen atomic.Int64
+	out, err := MapCtx(ctx, n, func(i int) float64 {
+		if seen.Add(1) == 20 {
+			cancel()
+		}
+		return float64(i) + 1 // never zero, so written entries are detectable
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(out) != n {
+		t.Fatalf("len(out) = %d, want %d", len(out), n)
+	}
+	wrote := 0
+	for i, v := range out {
+		if v != 0 && v != float64(i)+1 {
+			t.Fatalf("out[%d] = %v: torn value", i, v)
+		}
+		if v != 0 {
+			wrote++
+		}
+	}
+	if wrote == 0 || wrote == n {
+		t.Fatalf("wrote %d of %d; want a genuine partial result", wrote, n)
+	}
+}
+
+func TestMapCtxComplete(t *testing.T) {
+	out, err := MapCtx(context.Background(), 100, func(i int) float64 { return float64(i * i) })
+	if err != nil {
+		t.Fatalf("err = %v", err)
+	}
+	for i, v := range out {
+		if v != float64(i*i) {
+			t.Fatalf("out[%d] = %v, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestForSeededChunksCtxMatchesLegacy(t *testing.T) {
+	// The ctx variant with a background context must be bit-identical to
+	// the legacy entry point: same chunking, same stream derivation.
+	const n, chunks = 1000, 16
+	legacy := make([]float64, n)
+	ForSeededChunks(n, chunks, rng.New(99), func(r Range, s *rng.Rand) {
+		for i := r.Lo; i < r.Hi; i++ {
+			legacy[i] = s.Float64()
+		}
+	})
+	viaCtx := make([]float64, n)
+	err := ForSeededChunksCtx(context.Background(), n, chunks, rng.New(99), func(r Range, s *rng.Rand) {
+		for i := r.Lo; i < r.Hi; i++ {
+			viaCtx[i] = s.Float64()
+		}
+	})
+	if err != nil {
+		t.Fatalf("err = %v", err)
+	}
+	for i := range legacy {
+		if legacy[i] != viaCtx[i] {
+			t.Fatalf("divergence at %d: %v != %v", i, legacy[i], viaCtx[i])
+		}
+	}
+}
+
+func TestForRangesCtxSubsetMatchesFullRun(t *testing.T) {
+	// The resume primitive: running only a subset of chunks with streams
+	// derived by ChunkStreams reproduces exactly the full run's values
+	// for those chunks.
+	const n, chunks = 1000, 16
+	full := make([]float64, n)
+	ForSeededChunks(n, chunks, rng.New(7), func(r Range, s *rng.Rand) {
+		for i := r.Lo; i < r.Hi; i++ {
+			full[i] = s.Float64()
+		}
+	})
+
+	ranges := SplitRange(n, chunks)
+	streams := ChunkStreams(rng.New(7), len(ranges))
+	// Re-run only the odd-indexed chunks, as a resume would.
+	var odd []Range
+	var oddIdx []int
+	for ci, r := range ranges {
+		if ci%2 == 1 {
+			odd = append(odd, r)
+			oddIdx = append(oddIdx, ci)
+		}
+	}
+	partial := make([]float64, n)
+	err := ForRangesCtx(context.Background(), odd, func(ci int, r Range) {
+		s := streams[oddIdx[ci]]
+		for i := r.Lo; i < r.Hi; i++ {
+			partial[i] = s.Float64()
+		}
+	})
+	if err != nil {
+		t.Fatalf("err = %v", err)
+	}
+	for _, ci := range oddIdx {
+		r := ranges[ci]
+		for i := r.Lo; i < r.Hi; i++ {
+			if partial[i] != full[i] {
+				t.Fatalf("resumed chunk %d diverged at index %d: %v != %v", ci, i, partial[i], full[i])
+			}
+		}
+	}
+}
+
+func TestChunkStreamsDerivationIsPrefixStable(t *testing.T) {
+	// Stream k of ChunkStreams(parent, m) must not depend on m beyond
+	// k < m: the derivation is sequential splits, so a longer list is a
+	// superset. Checkpoint fingerprints rely on this.
+	a := ChunkStreams(rng.New(42), 4)
+	b := ChunkStreams(rng.New(42), 8)
+	for i := 0; i < 4; i++ {
+		if a[i].Float64() != b[i].Float64() {
+			t.Fatalf("stream %d differs between k=4 and k=8 derivations", i)
+		}
+	}
+}
+
+func TestForDynamicCtxCompletes(t *testing.T) {
+	const n = 200
+	var counts [n]int64
+	if err := ForDynamicCtx(context.Background(), n, func(i int) { atomic.AddInt64(&counts[i], 1) }); err != nil {
+		t.Fatalf("err = %v", err)
+	}
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("index %d ran %d times", i, c)
+		}
+	}
+}

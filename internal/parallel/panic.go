@@ -1,0 +1,20 @@
+package parallel
+
+import "fmt"
+
+// PanicError reports a panic recovered inside a worker goroutine. The
+// parallel executors never let a worker panic kill the process: the
+// panic value and the worker's stack are captured, remaining work is
+// abandoned, and the call fails with this typed error (context-aware
+// entry points return it; the legacy void entry points re-panic with it
+// on the calling goroutine, where a caller's recover can see it).
+type PanicError struct {
+	// Value is the value originally passed to panic.
+	Value any
+	// Stack is the panicking worker goroutine's stack trace.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("parallel: worker panic: %v", e.Value)
+}

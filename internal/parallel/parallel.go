@@ -5,10 +5,22 @@
 // into index ranges up front, each range can be handed its own RNG stream,
 // and results are written to caller-owned, pre-sized slices so that the
 // outcome never depends on goroutine scheduling.
+//
+// Every entry point has a context-aware variant (ForCtx, MapCtx,
+// ForDynamicCtx, ForSeededChunksCtx, ForRangesCtx) that checks for
+// cancellation cooperatively at chunk boundaries: a canceled call stops
+// scheduling new chunks, lets in-flight chunks finish, and returns
+// ctx.Err(). Chunks are never torn — a chunk either ran to completion or
+// never started — so index-addressed partial results remain usable.
+// Worker panics are isolated on every path: the panic is recovered,
+// counted, and surfaced as a *PanicError instead of crashing the process.
 package parallel
 
 import (
+	"context"
+	"errors"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -22,13 +34,17 @@ import (
 // every worker was busy for the whole call, lower values expose load
 // imbalance or stragglers. Timing is per worker per call — two clock
 // reads around an entire chunk of work — so the overhead is invisible
-// next to the work itself.
+// next to the work itself. Both counters are flushed in defers, so calls
+// that end early (cancellation, a recovered worker panic) still account
+// their wall and busy time instead of silently under-reporting
+// utilization.
 var (
-	mParCalls = obs.NewCounter("parallel.calls")
-	mParItems = obs.NewCounter("parallel.items")
-	fParBusy  = obs.NewFloatCounter("parallel.worker_busy_seconds")
-	fParWall  = obs.NewFloatCounter("parallel.worker_wall_seconds")
-	gParUtil  = obs.NewGauge("parallel.utilization")
+	mParCalls  = obs.NewCounter("parallel.calls")
+	mParItems  = obs.NewCounter("parallel.items")
+	mParPanics = obs.NewCounter("parallel.worker_panics_recovered")
+	fParBusy   = obs.NewFloatCounter("parallel.worker_busy_seconds")
+	fParWall   = obs.NewFloatCounter("parallel.worker_wall_seconds")
+	gParUtil   = obs.NewGauge("parallel.utilization")
 )
 
 // observeCall records one completed parallel call's shape and refreshes
@@ -84,45 +100,149 @@ func SplitRange(n, parts int) []Range {
 	return out
 }
 
-// For runs body(i) for every i in [0, n), distributing contiguous index
-// ranges across up to Workers(n) goroutines. It blocks until all calls
-// return. body must be safe for concurrent invocation on distinct indices.
-func For(n int, body func(i int)) {
-	ForChunked(n, func(r Range) {
+// exec is the shared executor behind every entry point: it runs the
+// listed ranges across up to workers goroutines, pulling the next range
+// from a shared counter (dynamic scheduling). Cancellation is checked
+// before each range is claimed, so a canceled call returns after the
+// in-flight ranges finish — never mid-range. A panicking range aborts
+// the remaining schedule and the call returns a *PanicError carrying the
+// panic value and worker stack. Wall and busy accounting is flushed in
+// defers so failed calls report utilization too.
+func exec(ctx context.Context, items, workers int, ranges []Range, body func(ci int, r Range)) error {
+	if len(ranges) == 0 {
+		return ctx.Err()
+	}
+	if workers > len(ranges) {
+		workers = len(ranges)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	t0 := time.Now()
+	defer func() { observeCall(items, workers, time.Since(t0)) }()
+
+	var (
+		next      atomic.Int64
+		panicOnce sync.Once
+		pErr      *PanicError
+		aborted   atomic.Bool
+	)
+	runRange := func(ci int) {
+		defer func() {
+			if v := recover(); v != nil {
+				mParPanics.Inc()
+				pe := &PanicError{Value: v, Stack: debug.Stack()}
+				panicOnce.Do(func() { pErr = pe })
+				aborted.Store(true)
+			}
+		}()
+		body(ci, ranges[ci])
+	}
+	worker := func() {
+		tw := time.Now()
+		defer func() { fParBusy.Add(time.Since(tw).Seconds()) }()
+		for {
+			if aborted.Load() || ctx.Err() != nil {
+				return
+			}
+			ci := int(next.Add(1)) - 1
+			if ci >= len(ranges) {
+				return
+			}
+			runRange(ci)
+		}
+	}
+	if workers == 1 {
+		worker()
+	} else {
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for k := 0; k < workers; k++ {
+			go func() {
+				defer wg.Done()
+				worker()
+			}()
+		}
+		wg.Wait()
+	}
+	if pErr != nil {
+		return pErr
+	}
+	return ctx.Err()
+}
+
+// itemRanges covers [0, n) with per-worker chunking fine enough that a
+// cancellation check lands every few percent of the work: workers * 8
+// chunks, capped at n.
+func itemRanges(n int) []Range {
+	return SplitRange(n, Workers(n)*8)
+}
+
+// sumItems returns the total index count covered by the ranges.
+func sumItems(ranges []Range) int {
+	total := 0
+	for _, r := range ranges {
+		total += r.Hi - r.Lo
+	}
+	return total
+}
+
+// must adapts a context-free executor call to the legacy void API: with
+// context.Background() the only possible failure is a recovered worker
+// panic, which is re-raised on the calling goroutine so a caller's
+// recover can observe the *PanicError (the process no longer dies on an
+// unrelated goroutine's stack).
+func must(err error) {
+	if err == nil {
+		return
+	}
+	var pe *PanicError
+	if errors.As(err, &pe) {
+		panic(pe)
+	}
+	panic(err)
+}
+
+// ForCtx runs body(i) for every i in [0, n), distributing contiguous
+// index chunks across up to Workers(n) goroutines and checking ctx
+// between chunks. On cancellation it returns ctx.Err(); every index
+// whose chunk started has run to completion, and no other index was
+// touched, so caller-owned index-addressed results are never torn.
+// body must be safe for concurrent invocation on distinct indices.
+func ForCtx(ctx context.Context, n int, body func(i int)) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	return exec(ctx, n, Workers(n), itemRanges(n), func(_ int, r Range) {
 		for i := r.Lo; i < r.Hi; i++ {
 			body(i)
 		}
 	})
 }
 
+// For runs body(i) for every i in [0, n). It blocks until all calls
+// return. A worker panic is re-raised on the calling goroutine as a
+// *PanicError. body must be safe for concurrent invocation on distinct
+// indices.
+func For(n int, body func(i int)) {
+	must(ForCtx(context.Background(), n, body))
+}
+
 // ForChunked runs body once per contiguous chunk of [0, n), one chunk per
 // worker goroutine. Use it when per-item dispatch overhead matters or the
 // body wants to keep per-chunk state.
 func ForChunked(n int, body func(r Range)) {
+	must(ForChunkedCtx(context.Background(), n, body))
+}
+
+// ForChunkedCtx is ForChunked with cooperative cancellation between
+// chunks and panic isolation (see ForCtx for the contract).
+func ForChunkedCtx(ctx context.Context, n int, body func(r Range)) error {
 	if n <= 0 {
-		return
+		return ctx.Err()
 	}
 	ranges := SplitRange(n, Workers(n))
-	t0 := time.Now()
-	if len(ranges) == 1 {
-		body(ranges[0])
-		wall := time.Since(t0)
-		fParBusy.Add(wall.Seconds())
-		observeCall(n, 1, wall)
-		return
-	}
-	var wg sync.WaitGroup
-	wg.Add(len(ranges))
-	for _, r := range ranges {
-		go func(r Range) {
-			defer wg.Done()
-			tw := time.Now()
-			body(r)
-			fParBusy.Add(time.Since(tw).Seconds())
-		}(r)
-	}
-	wg.Wait()
-	observeCall(n, len(ranges), time.Since(t0))
+	return exec(ctx, n, Workers(n), ranges, func(_ int, r Range) { body(r) })
 }
 
 // ForDynamic runs body(i) for every i in [0, n) with dynamic scheduling:
@@ -132,39 +252,22 @@ func ForChunked(n int, body func(r Range)) {
 // indices and should write results to caller-owned, index-addressed
 // storage, which keeps the outcome independent of scheduling order.
 func ForDynamic(n int, body func(i int)) {
+	must(ForDynamicCtx(context.Background(), n, body))
+}
+
+// ForDynamicCtx is ForDynamic with cooperative cancellation between
+// items and panic isolation: a canceled call stops dispatching, finishes
+// the in-flight items, and returns ctx.Err(); a worker panic surfaces as
+// a *PanicError.
+func ForDynamicCtx(ctx context.Context, n int, body func(i int)) error {
 	if n <= 0 {
-		return
+		return ctx.Err()
 	}
-	w := Workers(n)
-	t0 := time.Now()
-	if w == 1 {
-		for i := 0; i < n; i++ {
-			body(i)
-		}
-		wall := time.Since(t0)
-		fParBusy.Add(wall.Seconds())
-		observeCall(n, 1, wall)
-		return
+	ranges := make([]Range, n)
+	for i := range ranges {
+		ranges[i] = Range{Lo: i, Hi: i + 1}
 	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(w)
-	for k := 0; k < w; k++ {
-		go func() {
-			defer wg.Done()
-			tw := time.Now()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					fParBusy.Add(time.Since(tw).Seconds())
-					return
-				}
-				body(i)
-			}
-		}()
-	}
-	wg.Wait()
-	observeCall(n, w, time.Since(t0))
+	return exec(ctx, n, Workers(n), ranges, func(_ int, r Range) { body(r.Lo) })
 }
 
 // ForSeeded runs body(i, r) for every i in [0, n), where each worker chunk
@@ -177,26 +280,26 @@ func ForSeeded(n int, parent *rng.Rand, body func(i int, r *rng.Rand)) {
 		return
 	}
 	ranges := SplitRange(n, Workers(n))
-	streams := make([]*rng.Rand, len(ranges))
+	streams := ChunkStreams(parent, len(ranges))
+	must(exec(context.Background(), n, Workers(n), ranges, func(ci int, r Range) {
+		s := streams[ci]
+		for i := r.Lo; i < r.Hi; i++ {
+			body(i, s)
+		}
+	}))
+}
+
+// ChunkStreams derives one child RNG stream per chunk from parent, in
+// chunk order. The derivation consumes exactly k values from parent, so
+// the mapping from chunk index to stream depends only on (parent state,
+// k) — the property the checkpoint/resume machinery relies on to re-run
+// an arbitrary subset of chunks bit-identically.
+func ChunkStreams(parent *rng.Rand, k int) []*rng.Rand {
+	streams := make([]*rng.Rand, k)
 	for i := range streams {
 		streams[i] = parent.Split()
 	}
-	t0 := time.Now()
-	var wg sync.WaitGroup
-	wg.Add(len(ranges))
-	for ci, r := range ranges {
-		go func(ci int, r Range) {
-			defer wg.Done()
-			tw := time.Now()
-			s := streams[ci]
-			for i := r.Lo; i < r.Hi; i++ {
-				body(i, s)
-			}
-			fParBusy.Add(time.Since(tw).Seconds())
-		}(ci, r)
-	}
-	wg.Wait()
-	observeCall(n, len(ranges), time.Since(t0))
+	return streams
 }
 
 // ForSeededChunks divides [0, n) into exactly chunks ranges (fewer if
@@ -205,33 +308,49 @@ func ForSeeded(n int, parent *rng.Rand, body func(i int, r *rng.Rand)) {
 // stream assignment depend only on (n, chunks, parent state), results are
 // bit-identical regardless of GOMAXPROCS.
 func ForSeededChunks(n, chunks int, parent *rng.Rand, body func(r Range, stream *rng.Rand)) {
+	must(ForSeededChunksCtx(context.Background(), n, chunks, parent, body))
+}
+
+// ForSeededChunksCtx is ForSeededChunks with cooperative cancellation at
+// chunk boundaries and panic isolation: a canceled call stops claiming
+// new chunks, lets running chunks complete (a chunk is never torn), and
+// returns ctx.Err(). Callers that record per-chunk results therefore see
+// only whole chunks — the invariant checkpoint/resume builds on.
+func ForSeededChunksCtx(ctx context.Context, n, chunks int, parent *rng.Rand, body func(r Range, stream *rng.Rand)) error {
 	if n <= 0 {
-		return
+		return ctx.Err()
 	}
 	if chunks <= 0 {
 		chunks = 1
 	}
 	ranges := SplitRange(n, chunks)
-	streams := make([]*rng.Rand, len(ranges))
-	for i := range streams {
-		streams[i] = parent.Split()
+	streams := ChunkStreams(parent, len(ranges))
+	return exec(ctx, n, Workers(len(ranges)), ranges, func(ci int, r Range) {
+		body(r, streams[ci])
+	})
+}
+
+// ForRangesCtx runs body once per listed range across the available
+// workers, checking ctx between ranges. The ci argument is the index
+// into ranges, so a caller that pre-derived per-range state (RNG
+// streams, accumulators) can address it directly. This is the primitive
+// the resumable coverage study uses to execute exactly the chunks a
+// checkpoint says are still missing.
+func ForRangesCtx(ctx context.Context, ranges []Range, body func(ci int, r Range)) error {
+	return exec(ctx, sumItems(ranges), Workers(len(ranges)), ranges, body)
+}
+
+// MapCtx computes mapper(i) for every i in [0, n) in parallel and
+// returns the results in index order. On cancellation the returned
+// slice still holds every value whose chunk completed (other entries are
+// zero) alongside ctx.Err(); entries are never torn.
+func MapCtx(ctx context.Context, n int, mapper func(i int) float64) ([]float64, error) {
+	if n <= 0 {
+		return nil, ctx.Err()
 	}
-	workers := Workers(len(ranges))
-	t0 := time.Now()
-	sem := make(chan struct{}, workers)
-	var wg sync.WaitGroup
-	wg.Add(len(ranges))
-	for ci, r := range ranges {
-		sem <- struct{}{}
-		go func(ci int, r Range) {
-			defer func() { <-sem; wg.Done() }()
-			tw := time.Now()
-			body(r, streams[ci])
-			fParBusy.Add(time.Since(tw).Seconds())
-		}(ci, r)
-	}
-	wg.Wait()
-	observeCall(n, workers, time.Since(t0))
+	out := make([]float64, n)
+	err := ForCtx(ctx, n, func(i int) { out[i] = mapper(i) })
+	return out, err
 }
 
 // MapReduceFloat64 computes a parallel map over [0, n) followed by a
@@ -242,8 +361,8 @@ func MapReduceFloat64(n int, mapper func(i int) float64, init float64, reducer f
 	if n <= 0 {
 		return init
 	}
-	vals := make([]float64, n)
-	For(n, func(i int) { vals[i] = mapper(i) })
+	vals, err := MapCtx(context.Background(), n, mapper)
+	must(err)
 	acc := init
 	for _, v := range vals {
 		acc = reducer(acc, v)

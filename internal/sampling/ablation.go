@@ -1,6 +1,7 @@
 package sampling
 
 import (
+	"context"
 	"errors"
 	"math"
 
@@ -32,13 +33,19 @@ func (c IntervalComparison) UnderCoverage() float64 {
 // CompareIntervals runs the bootstrap study twice — once with exact t
 // critical values, once with the z approximation — and pairs the results.
 func CompareIntervals(cfg CoverageConfig) ([]IntervalComparison, error) {
+	return CompareIntervalsCtx(context.Background(), cfg)
+}
+
+// CompareIntervalsCtx is CompareIntervals with cooperative cancellation;
+// a cancellation between or during the two studies returns ctx.Err().
+func CompareIntervalsCtx(ctx context.Context, cfg CoverageConfig) ([]IntervalComparison, error) {
 	cfg.UseZ = false
-	tPoints, err := CoverageStudy(cfg)
+	tPoints, err := CoverageStudyCtx(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
 	cfg.UseZ = true
-	zPoints, err := CoverageStudy(cfg)
+	zPoints, err := CoverageStudyCtx(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -1,14 +1,17 @@
 package sampling
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
-	"sort"
+	"os"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"nodevar/internal/checkpoint"
 	"nodevar/internal/obs"
 	"nodevar/internal/parallel"
 	"nodevar/internal/rng"
@@ -21,10 +24,15 @@ import (
 var (
 	mBootStudies    = obs.NewCounter("sampling.bootstrap.studies")
 	mBootReplicates = obs.NewCounter("sampling.bootstrap.replicates")
+	mBootResumed    = obs.NewCounter("sampling.bootstrap.chunks_resumed")
 	gBootRate       = obs.NewGauge("sampling.bootstrap.replicates_per_sec")
 	hBootChunk      = obs.NewHistogram("sampling.bootstrap.chunk_seconds",
 		[]float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5})
 )
+
+// coverageKind stamps coverage-study checkpoints; bump if the chunk
+// decomposition or the meaning of the accumulators ever changes.
+const coverageKind = "sampling/coverage-study/v1"
 
 // CoverageConfig describes a Figure-3 style bootstrap calibration study.
 type CoverageConfig struct {
@@ -50,6 +58,26 @@ type CoverageConfig struct {
 	// normal-quantile approximation of Equation 2, quantifying the
 	// paper's small-n under-coverage caveat.
 	UseZ bool
+
+	// Checkpoint, when non-empty, is a file path where completed-chunk
+	// progress is saved so an interrupted study can resume. The file is
+	// stamped with the seed and a fingerprint of every result-shaping
+	// field above; loading it under a different configuration fails.
+	Checkpoint string
+	// CheckpointEvery is the save cadence in completed chunks (default 8
+	// when Checkpoint is set). A final save also runs on cancellation.
+	CheckpointEvery int
+	// Resume, with Checkpoint set, loads existing progress before
+	// running; only the chunks the checkpoint lacks are executed, and the
+	// final output is bit-identical to an uninterrupted run. A missing
+	// checkpoint file is a fresh start, not an error.
+	Resume bool
+	// OnChunk, if set, is called after each chunk of the current run is
+	// recorded, with the total number of completed chunks (including
+	// resumed ones) and the total chunk count. It runs under the study's
+	// internal lock: keep it fast and do not call back into the study.
+	// Test harnesses use it to cancel at exact points.
+	OnChunk func(done, total int)
 }
 
 // Validate checks the configuration.
@@ -65,6 +93,8 @@ func (c CoverageConfig) Validate() error {
 		return errors.New("sampling: no confidence levels given")
 	case c.Replicates < 1:
 		return errors.New("sampling: replicates must be positive")
+	case c.Resume && c.Checkpoint == "":
+		return errors.New("sampling: Resume requires a Checkpoint path")
 	}
 	for _, n := range c.SampleSizes {
 		if n < 2 || n > c.Population {
@@ -77,6 +107,19 @@ func (c CoverageConfig) Validate() error {
 		}
 	}
 	return nil
+}
+
+// fingerprint digests every field that shapes the study's output (not
+// the runtime-only checkpoint knobs), so a checkpoint can only resume
+// the exact study that wrote it.
+func (c CoverageConfig) fingerprint() uint64 {
+	f := checkpoint.NewFingerprint()
+	f.Int(len(c.Pilot)).Float64(c.Pilot...)
+	f.Int(c.Population, c.Replicates, c.Chunks)
+	f.Int(len(c.SampleSizes)).Int(c.SampleSizes...)
+	f.Int(len(c.Levels)).Float64(c.Levels...)
+	f.Bool(c.UseZ)
+	return f.Sum()
 }
 
 // CoveragePoint is the simulated coverage of one (n, level) pair.
@@ -101,6 +144,24 @@ func (p CoveragePoint) Miscalibration() float64 {
 	return d
 }
 
+// chunkResult is one chunk's complete contribution: hit counts and
+// relative-width partial sums, flat-indexed [ni*nLevels+li]. It is what
+// the checkpoint persists — chunks are the atomic unit of progress, so a
+// checkpoint never holds a torn chunk.
+type chunkResult struct {
+	Ci     int       `json:"ci"`
+	Lo     int       `json:"lo"`
+	Hi     int       `json:"hi"`
+	Hits   []int64   `json:"hits"`
+	Widths []float64 `json:"widths"`
+}
+
+// coverageProgress is the checkpoint payload.
+type coverageProgress struct {
+	Chunks int           `json:"chunks"`
+	Done   []chunkResult `json:"done"`
+}
+
 // CoverageStudy runs the paper's four-step bootstrap procedure
 // (Section 4.2) for every configured sample size and level:
 //
@@ -121,6 +182,19 @@ func (p CoveragePoint) Miscalibration() float64 {
 // parallel; results are bit-identical for a fixed (Seed, Chunks) pair
 // regardless of GOMAXPROCS or scheduling.
 func CoverageStudy(cfg CoverageConfig) ([]CoveragePoint, error) {
+	return CoverageStudyCtx(context.Background(), cfg)
+}
+
+// CoverageStudyCtx is CoverageStudy with cooperative cancellation and
+// checkpoint/resume. Cancellation is observed at chunk boundaries: a
+// canceled study finishes its in-flight chunks, flushes a final
+// checkpoint (when configured), and returns ctx.Err() together with
+// points aggregated over the replicates that did complete (their
+// Replicates field records how many). Because chunks own disjoint
+// replicate ranges with independently derived RNG streams, resuming from
+// the checkpoint and running only the missing chunks yields output
+// bit-identical to an uninterrupted run.
+func CoverageStudyCtx(ctx context.Context, cfg CoverageConfig) ([]CoveragePoint, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -134,8 +208,46 @@ func CoverageStudy(cfg CoverageConfig) ([]CoveragePoint, error) {
 	if chunks <= 0 {
 		chunks = 64
 	}
-	root := rng.New(cfg.Seed)
+	saveEvery := cfg.CheckpointEvery
+	if saveEvery <= 0 {
+		saveEvery = 8
+	}
 	nSizes, nLevels := len(cfg.SampleSizes), len(cfg.Levels)
+
+	// The deterministic decomposition: chunk ci always covers ranges[ci]
+	// and always consumes the ci-th sequential split of the root stream,
+	// no matter which subset of chunks this process executes. That
+	// invariance is the whole resume story.
+	ranges := parallel.SplitRange(cfg.Replicates, chunks)
+	streams := parallel.ChunkStreams(rng.New(cfg.Seed), len(ranges))
+	fp := cfg.fingerprint()
+
+	results := make([]*chunkResult, len(ranges))
+	if cfg.Resume {
+		var prog coverageProgress
+		err := checkpoint.Load(cfg.Checkpoint, coverageKind, cfg.Seed, fp, &prog)
+		switch {
+		case errors.Is(err, os.ErrNotExist):
+			// Fresh start.
+		case err != nil:
+			return nil, err
+		case prog.Chunks != len(ranges):
+			return nil, fmt.Errorf("%w: checkpoint has %d chunks, study has %d",
+				checkpoint.ErrMismatch, prog.Chunks, len(ranges))
+		default:
+			for _, cr := range prog.Done {
+				cr := cr
+				if cr.Ci < 0 || cr.Ci >= len(ranges) ||
+					ranges[cr.Ci] != (parallel.Range{Lo: cr.Lo, Hi: cr.Hi}) ||
+					len(cr.Hits) != nSizes*nLevels || len(cr.Widths) != nSizes*nLevels {
+					return nil, fmt.Errorf("%w: chunk %d does not match the study decomposition",
+						checkpoint.ErrCorrupt, cr.Ci)
+				}
+				results[cr.Ci] = &cr
+			}
+			mBootResumed.Add(int64(len(prog.Done)))
+		}
+	}
 
 	// Precompute the critical values for every (n, level) pair.
 	crit := make([][]float64, nSizes)
@@ -150,20 +262,52 @@ func CoverageStudy(cfg CoverageConfig) ([]CoveragePoint, error) {
 		}
 	}
 
-	// Flat [ni*nLevels+li] accumulators. Width partial sums are kept per
-	// chunk, keyed by the chunk's starting replicate, so the final
-	// floating-point reduction runs in a fixed order regardless of which
-	// goroutine finishes first.
-	hits := make([]int64, nSizes*nLevels)
-	type widthPart struct {
-		lo     int
-		widths []float64
+	var (
+		mu        sync.Mutex
+		doneCount int
+		sinceSave int
+		saveErr   error
+	)
+	for _, cr := range results {
+		if cr != nil {
+			doneCount++
+		}
 	}
-	var parts []widthPart
-	var mu sync.Mutex
+	snapshot := func() coverageProgress {
+		prog := coverageProgress{Chunks: len(ranges)}
+		for _, cr := range results {
+			if cr != nil {
+				prog.Done = append(prog.Done, *cr)
+			}
+		}
+		return prog
+	}
+	// save flushes progress under mu; checkpoint.Save is atomic, so a
+	// crash mid-flush leaves the previous checkpoint intact.
+	save := func() {
+		if cfg.Checkpoint == "" {
+			return
+		}
+		if err := checkpoint.Save(cfg.Checkpoint, coverageKind, cfg.Seed, fp, snapshot()); err != nil && saveErr == nil {
+			saveErr = err
+		}
+		sinceSave = 0
+	}
 
-	parallel.ForSeededChunks(cfg.Replicates, chunks, root, func(r parallel.Range, stream *rng.Rand) {
+	// Execute only the chunks the checkpoint did not already cover.
+	var todoRanges []parallel.Range
+	var todoCi []int
+	for ci := range ranges {
+		if results[ci] == nil {
+			todoRanges = append(todoRanges, ranges[ci])
+			todoCi = append(todoCi, ci)
+		}
+	}
+	var executed atomic.Int64
+	runErr := parallel.ForRangesCtx(ctx, todoRanges, func(ti int, r parallel.Range) {
+		ci := todoCi[ti]
 		tChunk := time.Now()
+		stream := streams[ci]
 		machine := make([]float64, cfg.Population)
 		localHits := make([]int64, nSizes*nLevels)
 		localWidth := make([]float64, nSizes*nLevels)
@@ -203,26 +347,56 @@ func CoverageStudy(cfg CoverageConfig) ([]CoveragePoint, error) {
 			}
 		}
 		mu.Lock()
-		for i := range hits {
-			hits[i] += localHits[i]
+		results[ci] = &chunkResult{Ci: ci, Lo: r.Lo, Hi: r.Hi, Hits: localHits, Widths: localWidth}
+		doneCount++
+		sinceSave++
+		if sinceSave >= saveEvery {
+			save()
 		}
-		parts = append(parts, widthPart{lo: r.Lo, widths: localWidth})
+		if cfg.OnChunk != nil {
+			cfg.OnChunk(doneCount, len(ranges))
+		}
 		mu.Unlock()
 		hBootChunk.Observe(time.Since(tChunk).Seconds())
 		mBootReplicates.Add(int64(r.Hi - r.Lo))
+		executed.Add(int64(r.Hi - r.Lo))
 	})
-	if elapsed := time.Since(tStudy).Seconds(); elapsed > 0 {
-		gBootRate.Set(float64(cfg.Replicates) / elapsed)
+
+	mu.Lock()
+	if sinceSave > 0 {
+		// Final flush: on completion the checkpoint captures the whole
+		// study; on cancellation it captures every chunk that finished.
+		save()
+	}
+	flushErr := saveErr
+	mu.Unlock()
+	if runErr != nil && !errors.Is(runErr, context.Canceled) && !errors.Is(runErr, context.DeadlineExceeded) {
+		return nil, runErr
+	}
+	if flushErr != nil {
+		return nil, fmt.Errorf("sampling: flushing checkpoint: %w", flushErr)
+	}
+	if elapsed := time.Since(tStudy).Seconds(); elapsed > 0 && executed.Load() > 0 {
+		gBootRate.Set(float64(executed.Load()) / elapsed)
 	}
 
-	// Reduce partial widths in chunk order for a scheduling-independent
-	// floating-point sum.
-	sort.Slice(parts, func(i, j int) bool { return parts[i].lo < parts[j].lo })
+	// Reduce in chunk order (== ascending Lo, since SplitRange emits
+	// ordered ranges) for a scheduling-independent floating-point sum.
+	hits := make([]int64, nSizes*nLevels)
 	widthSums := make([]float64, nSizes*nLevels)
-	for _, p := range parts {
-		for i, w := range p.widths {
-			widthSums[i] += w
+	doneReps := 0
+	for _, cr := range results {
+		if cr == nil {
+			continue
 		}
+		doneReps += cr.Hi - cr.Lo
+		for i := range hits {
+			hits[i] += cr.Hits[i]
+			widthSums[i] += cr.Widths[i]
+		}
+	}
+	if doneReps == 0 {
+		return nil, runErr
 	}
 
 	points := make([]CoveragePoint, 0, nSizes*nLevels)
@@ -231,11 +405,11 @@ func CoverageStudy(cfg CoverageConfig) ([]CoveragePoint, error) {
 			points = append(points, CoveragePoint{
 				SampleSize:   n,
 				Level:        lv,
-				Coverage:     float64(hits[ni*nLevels+li]) / float64(cfg.Replicates),
-				MeanRelWidth: widthSums[ni*nLevels+li] / float64(cfg.Replicates),
-				Replicates:   cfg.Replicates,
+				Coverage:     float64(hits[ni*nLevels+li]) / float64(doneReps),
+				MeanRelWidth: widthSums[ni*nLevels+li] / float64(doneReps),
+				Replicates:   doneReps,
 			})
 		}
 	}
-	return points, nil
+	return points, runErr
 }

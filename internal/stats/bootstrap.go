@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"context"
 	"errors"
 	"sort"
 
@@ -15,6 +16,22 @@ import (
 // It complements the parametric t interval of Equation 1: it needs no
 // normality assumption, at the cost of B statistic evaluations.
 func BootstrapCI(xs []float64, stat func([]float64) float64, b int, confidence float64, seed uint64) (Interval, error) {
+	return BootstrapCICtx(context.Background(), xs, stat, b, confidence, seed)
+}
+
+// bootstrapCheckEvery is how many replicates run between cancellation
+// checks: frequent enough that a cancel lands within milliseconds, rare
+// enough to cost nothing.
+const bootstrapCheckEvery = 256
+
+// BootstrapCICtx is BootstrapCI with cooperative cancellation, checked
+// every few hundred replicates. The replicate stream is identical to
+// BootstrapCI's, so an uncanceled call is bit-identical to the legacy
+// entry point. On cancellation it returns ctx.Err(); if at least 100
+// replicates completed it also returns the interval cut from those
+// completed replicates (a usable, conservative partial answer — its
+// quantiles are simply noisier), otherwise a zero Interval.
+func BootstrapCICtx(ctx context.Context, xs []float64, stat func([]float64) float64, b int, confidence float64, seed uint64) (Interval, error) {
 	if len(xs) < 2 {
 		return Interval{}, errors.New("stats: BootstrapCI needs at least 2 observations")
 	}
@@ -26,13 +43,21 @@ func BootstrapCI(xs []float64, stat func([]float64) float64, b int, confidence f
 	}
 	r := rng.New(seed)
 	center := stat(xs)
-	replicates := make([]float64, b)
+	replicates := make([]float64, 0, b)
 	resample := make([]float64, len(xs))
+	var ctxErr error
 	for i := 0; i < b; i++ {
+		if i%bootstrapCheckEvery == 0 && ctx.Err() != nil {
+			ctxErr = ctx.Err()
+			break
+		}
 		for j := range resample {
 			resample[j] = xs[r.Intn(len(xs))]
 		}
-		replicates[i] = stat(resample)
+		replicates = append(replicates, stat(resample))
+	}
+	if ctxErr != nil && len(replicates) < 100 {
+		return Interval{}, ctxErr
 	}
 	sort.Float64s(replicates)
 	alpha := 1 - confidence
@@ -44,7 +69,7 @@ func BootstrapCI(xs []float64, stat func([]float64) float64, b int, confidence f
 	if d := center - lo; d > half {
 		half = d
 	}
-	return Interval{Center: center, HalfWidth: half, Confidence: confidence}, nil
+	return Interval{Center: center, HalfWidth: half, Confidence: confidence}, ctxErr
 }
 
 // BootstrapSE estimates the standard error of a statistic by the
