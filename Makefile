@@ -5,7 +5,7 @@ COVER_FLOOR ?= 80
 CHAOS_SEEDS ?= 8
 CHAOS_FAULTS ?= drop=0.02,stuck=0.01,glitch=0.01,jitter=0.1,meterdrop=0.05,nodedrop=0.15
 
-.PHONY: build test vet race race-obs check bench trace repro fuzz-smoke cover-check chaos interrupt vuln
+.PHONY: build test vet race race-obs check bench trace repro fuzz-smoke cover-check chaos interrupt vuln serve loadcheck
 
 build:
 	$(GO) build ./...
@@ -82,3 +82,16 @@ trace:
 
 repro:
 	$(GO) run ./cmd/repro -exp all
+
+# Run the nodevard HTTP service locally (see README "Serving the
+# methodology"). SERVE_ADDR=127.0.0.1:0 picks an ephemeral port.
+SERVE_ADDR ?= :8080
+serve:
+	$(GO) run ./cmd/nodevard -addr $(SERVE_ADDR)
+
+# The load-shedding/coalescing gate: ~120 concurrent identical coverage
+# requests against a lowered concurrency limit, under the race detector.
+# Exactly one study may execute; everything past the limit must shed
+# with 429; all served bodies must be byte-identical.
+loadcheck:
+	$(GO) test -race -count=1 -run TestServerLoad ./internal/server

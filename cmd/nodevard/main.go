@@ -1,0 +1,121 @@
+// Command nodevard serves the paper's sampling methodology as a
+// long-lived HTTP JSON API: sample-size planning (/v1/samplesize),
+// expected-accuracy queries (/v1/accuracy), the Table 5 grid
+// (/v1/table5), the Level-1 versus revised subset rules (/v1/rules) and
+// the Figure 3 bootstrap coverage study (/v1/coverage), with coalesced
+// result caching, 429 load shedding and per-request timeouts.
+//
+// Usage:
+//
+//	nodevard                              # listen on :8080
+//	nodevard -addr 127.0.0.1:0            # ephemeral port (printed on stdout)
+//	nodevard -max-concurrent 128 -request-timeout 2m
+//	nodevard -manifest-dir ./manifests    # one run record per coverage study
+//
+// The first SIGINT/SIGTERM starts a graceful drain: the listener closes
+// immediately (new requests are refused), in-flight requests get
+// -drain-timeout to finish, and the process exits 130 with an
+// "interrupted" run manifest, matching the repo-wide signal convention;
+// a second signal exits immediately.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"nodevar/internal/cli"
+	"nodevar/internal/server"
+)
+
+func main() {
+	os.Exit(realMain())
+}
+
+func realMain() int {
+	var (
+		addr          = flag.String("addr", ":8080", "listen address (host:0 picks an ephemeral port)")
+		maxConc       = flag.Int("max-concurrent", 64, "in-flight /v1/ request cap; excess requests are shed with 429")
+		reqTimeout    = flag.Duration("request-timeout", 60*time.Second, "per-request budget; 0 disables")
+		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "grace for in-flight requests after a shutdown signal")
+		maxReplicates = flag.Int("max-replicates", 200000, "largest /v1/coverage replicate count accepted")
+		cacheEntries  = flag.Int("cache-entries", 128, "completed coverage results kept in memory")
+		manifestDir   = flag.String("manifest-dir", "", "write one manifest-v3 run record per computed coverage study here")
+		obsFlags      = cli.RegisterObsFlags()
+		execFlags     = cli.RegisterExecFlags()
+	)
+	flag.Parse()
+	if err := execFlags.Validate(); err != nil {
+		fatal(err)
+	}
+
+	run, err := obsFlags.Start("nodevard")
+	if err != nil {
+		fatal(err)
+	}
+	ctx, stop := run.Context(execFlags)
+	defer stop()
+	run.SetConfig("addr", *addr)
+	run.SetConfig("max_concurrent", *maxConc)
+	run.SetConfig("request_timeout", reqTimeout.String())
+	run.SetConfig("max_replicates", *maxReplicates)
+
+	// The server's lifecycle context outlives the signal context: drain
+	// first (in-flight coverage studies finish and get cached), cancel
+	// whatever is left only if the grace period runs out.
+	baseCtx, baseCancel := context.WithCancel(context.Background())
+	defer baseCancel()
+	srv := server.New(server.Config{
+		MaxConcurrent:  *maxConc,
+		RequestTimeout: *reqTimeout,
+		MaxReplicates:  *maxReplicates,
+		CacheEntries:   *cacheEntries,
+		ManifestDir:    *manifestDir,
+		BaseContext:    baseCtx,
+		Log:            run.Log,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return run.Close(err)
+	}
+	// Stdout so scripts (and the integration test) can discover an
+	// ephemeral port.
+	fmt.Printf("nodevard listening on %s\n", ln.Addr())
+	run.Log.Info("nodevard listening", "addr", ln.Addr().String())
+
+	hs := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		// The listener failed outright; nothing to drain.
+		baseCancel()
+		return run.Close(err)
+	case <-ctx.Done():
+	}
+
+	run.Log.Info("draining", "grace", drainTimeout.String())
+	sctx, scancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer scancel()
+	if derr := hs.Shutdown(sctx); derr != nil {
+		run.Log.Warn("drain incomplete; closing remaining connections", "err", derr)
+		baseCancel() // stop abandoned coverage studies at their next chunk
+		hs.Close()
+	}
+	if serr := <-serveErr; serr != nil && !errors.Is(serr, http.ErrServerClosed) {
+		run.Log.Error("serve loop error", "err", serr)
+	}
+	return run.Close(ctx.Err())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nodevard:", err)
+	os.Exit(1)
+}

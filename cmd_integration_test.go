@@ -5,8 +5,11 @@ package nodevar_test
 // These complement the library tests by covering flag wiring and I/O.
 
 import (
+	"bufio"
 	"encoding/json"
 	"errors"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -127,6 +130,103 @@ func TestCommandLineTools(t *testing.T) {
 			t.Errorf("missing SVG output: %v", err)
 		}
 	})
+}
+
+// TestNodevardServe boots the HTTP service on an ephemeral port,
+// discovers the port from the startup line on stdout, exercises the API
+// end to end, and checks that SIGTERM drains and exits 130 per the
+// repo-wide signal convention.
+func TestNodevardServe(t *testing.T) {
+	dir := buildCmds(t)
+
+	cmd := exec.Command(filepath.Join(dir, "nodevard"),
+		"-addr", "127.0.0.1:0", "-drain-timeout", "30s")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stderr strings.Builder
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	defer cmd.Process.Kill()
+
+	// The first stdout line announces the bound address.
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		t.Fatalf("nodevard produced no startup line\n%s", stderr.String())
+	}
+	line := sc.Text()
+	const prefix = "nodevard listening on "
+	if !strings.HasPrefix(line, prefix) {
+		t.Fatalf("startup line %q, want %q prefix", line, prefix)
+	}
+	url := "http://" + strings.TrimSpace(strings.TrimPrefix(line, prefix))
+	go io.Copy(io.Discard, stdout) // keep the pipe drained
+
+	get := func(path string) (int, []byte) {
+		t.Helper()
+		resp, err := http.Get(url + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v\n%s", path, err, stderr.String())
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, b
+	}
+
+	// Subset rules for the paper's 210-node example: Level 1 wants 4
+	// nodes, the revised rule 21.
+	status, body := get("/v1/rules?nodes=210")
+	if status != http.StatusOK {
+		t.Fatalf("/v1/rules: status %d\n%s", status, body)
+	}
+	var rules struct {
+		Level1  int `json:"level1"`
+		Revised int `json:"revised"`
+	}
+	if err := json.Unmarshal(body, &rules); err != nil {
+		t.Fatalf("/v1/rules body: %v\n%s", err, body)
+	}
+	if rules.Level1 != 4 || rules.Revised != 21 {
+		t.Errorf("rules for 210 nodes = %+v, want level1=4 revised=21", rules)
+	}
+
+	// Planning via POST round-trips through the same sampling code as
+	// the samplesize command.
+	resp, err := http.Post(url+"/v1/samplesize", "application/json",
+		strings.NewReader(`{"population":18688,"cv":0.02,"accuracy":0.01}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"nodes":16`) {
+		t.Errorf("/v1/samplesize: status %d\n%s", resp.StatusCode, body)
+	}
+
+	if status, body = get("/healthz"); status != http.StatusOK {
+		t.Errorf("/healthz: status %d\n%s", status, body)
+	}
+
+	// SIGTERM drains and exits with the signal convention's 130.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(time.Minute):
+		t.Fatalf("nodevard did not exit within 1m of SIGTERM\n%s", stderr.String())
+	}
+	if code := cmd.ProcessState.ExitCode(); code != 130 {
+		t.Fatalf("exit code %d after SIGTERM, want 130\n%s", code, stderr.String())
+	}
 }
 
 // TestReproInterrupt drives the graceful-shutdown path end to end: a

@@ -7,6 +7,7 @@ import (
 
 	"nodevar/internal/power"
 	"nodevar/internal/sampling"
+	"nodevar/internal/stats"
 )
 
 // Assessment is the measurement-accuracy statement the paper recommends
@@ -46,6 +47,22 @@ func (a Assessment) WithCompleteness(completeness float64) Assessment {
 	}
 	a.DataCompleteness = completeness
 	a.Degraded = true
+	return a
+}
+
+// WithSubsetInterval fills SubsetAccuracy from a measured extrapolation
+// interval instead of a planned CV. A zero-center interval — which
+// best-effort aggregation over dropped nodes or meters can produce — is
+// not a 0% error: the relative accuracy is undefined, so the assessment
+// is flagged degraded with a note instead of panicking the way
+// stats.Interval.RelativeHalfWidth would.
+func (a Assessment) WithSubsetInterval(ci stats.Interval) Assessment {
+	if rel, ok := ci.RelativeHalfWidthOK(); ok {
+		a.SubsetAccuracy = rel
+		return a
+	}
+	a.Degraded = true
+	a.Notes = append(a.Notes, "zero-power point estimate: relative accuracy undefined")
 	return a
 }
 

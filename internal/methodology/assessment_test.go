@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"nodevar/internal/power"
+	"nodevar/internal/stats"
 )
 
 func TestAssessSubsetMeasurement(t *testing.T) {
@@ -154,5 +155,26 @@ func TestWithCompleteness(t *testing.T) {
 	}
 	if base.Degraded {
 		t.Error("WithCompleteness mutated its receiver")
+	}
+}
+
+// TestWithSubsetInterval covers the degraded conversion point for
+// fault-tolerant pipelines: a healthy interval fills SubsetAccuracy,
+// while a zero-center interval (best-effort aggregation with every node
+// lost) flags the assessment degraded instead of panicking.
+func TestWithSubsetInterval(t *testing.T) {
+	base := Assessment{Confidence: 0.95, TimeBiasBounded: true}
+
+	a := base.WithSubsetInterval(stats.Interval{Center: 1000, HalfWidth: 15, Confidence: 0.95})
+	if a.Degraded || a.SubsetAccuracy != 0.015 {
+		t.Errorf("healthy interval: %+v", a)
+	}
+
+	a = base.WithSubsetInterval(stats.Interval{Center: 0, HalfWidth: 15, Confidence: 0.95})
+	if !a.Degraded || a.SubsetAccuracy != 0 {
+		t.Errorf("zero-center interval not flagged degraded: %+v", a)
+	}
+	if len(a.Notes) == 0 || !strings.Contains(a.String(), "relative accuracy undefined") {
+		t.Errorf("zero-center interval note missing: %q", a.String())
 	}
 }

@@ -109,10 +109,13 @@ func (c CoverageConfig) Validate() error {
 	return nil
 }
 
-// fingerprint digests every field that shapes the study's output (not
-// the runtime-only checkpoint knobs), so a checkpoint can only resume
-// the exact study that wrote it.
-func (c CoverageConfig) fingerprint() uint64 {
+// Fingerprint digests every field that shapes the study's output (not
+// the runtime-only checkpoint knobs, and not the seed, which is stamped
+// separately), so a checkpoint can only resume the exact study that
+// wrote it. The serving layer reuses it as the provenance key for
+// cached results, so a served study and a CLI run of the same
+// configuration carry the same (seed, fingerprint) identity.
+func (c CoverageConfig) Fingerprint() uint64 {
 	f := checkpoint.NewFingerprint()
 	f.Int(len(c.Pilot)).Float64(c.Pilot...)
 	f.Int(c.Population, c.Replicates, c.Chunks)
@@ -220,7 +223,7 @@ func CoverageStudyCtx(ctx context.Context, cfg CoverageConfig) ([]CoveragePoint,
 	// invariance is the whole resume story.
 	ranges := parallel.SplitRange(cfg.Replicates, chunks)
 	streams := parallel.ChunkStreams(rng.New(cfg.Seed), len(ranges))
-	fp := cfg.fingerprint()
+	fp := cfg.Fingerprint()
 
 	results := make([]*chunkResult, len(ranges))
 	if cfg.Resume {

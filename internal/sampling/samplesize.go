@@ -24,7 +24,10 @@ type Plan struct {
 	// power; the paper observes 0.015-0.03 across systems.
 	CV float64
 	// Population is the total node count N; 0 means infinite (skip the
-	// finite population correction).
+	// finite population correction). A population of exactly 1 is
+	// rejected by Validate: every recommendation this package makes needs
+	// at least 2 observations for a variance estimate, and a 1-node
+	// machine cannot supply them.
 	Population int
 }
 
@@ -39,6 +42,8 @@ func (p Plan) Validate() error {
 		return errors.New("sampling: CV must be positive")
 	case p.Population < 0:
 		return errors.New("sampling: population must be non-negative")
+	case p.Population == 1:
+		return errors.New("sampling: population of 1 cannot support the 2-observation minimum a variance estimate needs")
 	}
 	return nil
 }
@@ -58,7 +63,9 @@ func (p Plan) BaseSampleSize() (float64, error) {
 // RequiredSampleSize returns the recommended node count per Equation 5:
 // n₀ corrected for the finite population and rounded up. The result is
 // clamped to at least 2 (a standard deviation needs two observations) and
-// to the population size when one is given.
+// to the population size when one is given; because Validate rejects a
+// population of 1, the two clamps can never contradict each other and
+// the ≥2 invariant holds unconditionally.
 func (p Plan) RequiredSampleSize() (int, error) {
 	n0, err := p.BaseSampleSize()
 	if err != nil {
@@ -81,7 +88,10 @@ func (p Plan) RequiredSampleSize() (int, error) {
 // ExpectedAccuracy inverts the formula: the relative half-width λ
 // achieved with a sample of n nodes under this plan's confidence and CV,
 // using the exact t quantile (Equation 1) and the finite population
-// correction when a population is set. It panics if n < 2.
+// correction when a population is set. Sampling the whole population
+// (n == N) yields exactly 0: the census has no extrapolation error. A
+// sample larger than the population is an error, mirroring the n > N
+// rejection in stats.MeanCIFromStats so the two layers agree.
 func (p Plan) ExpectedAccuracy(n int) (float64, error) {
 	if err := p.Validate(); err != nil {
 		return 0, err
@@ -89,9 +99,14 @@ func (p Plan) ExpectedAccuracy(n int) (float64, error) {
 	if n < 2 {
 		return 0, errors.New("sampling: ExpectedAccuracy needs n >= 2")
 	}
+	if p.Population > 0 && n > p.Population {
+		return 0, fmt.Errorf("sampling: sample of %d exceeds population of %d", n, p.Population)
+	}
 	q := stats.TQuantile(n-1, 1-(1-p.Confidence)/2)
 	acc := q * p.CV / math.Sqrt(float64(n))
-	if N := p.Population; N > 1 && n <= N {
+	if N := p.Population; N > 0 {
+		// Validate guarantees N >= 2 here, so the correction is well
+		// defined and reaches 0 exactly at n == N.
 		acc *= math.Sqrt(float64(N-n) / float64(N-1))
 	}
 	return acc, nil

@@ -288,3 +288,55 @@ func BenchmarkRequiredSampleSize(b *testing.B) {
 		}
 	}
 }
+
+// TestTinyPopulations pins the N ∈ {1, 2, 3} edge cases: a 1-node
+// population cannot satisfy the documented "at least 2 observations"
+// invariant and must be rejected (returning 1 would later panic
+// stats.MeanCI), while N = 2 and N = 3 must respect both the ≥2 floor
+// and the population cap.
+func TestTinyPopulations(t *testing.T) {
+	base := Plan{Confidence: 0.95, Accuracy: 0.01, CV: 0.02}
+
+	p := base
+	p.Population = 1
+	if err := p.Validate(); err == nil {
+		t.Error("Validate accepted Population == 1")
+	}
+	if n, err := p.RequiredSampleSize(); err == nil {
+		t.Errorf("RequiredSampleSize(N=1) = %d, want error", n)
+	}
+	if _, err := p.ExpectedAccuracy(2); err == nil {
+		t.Error("ExpectedAccuracy(N=1) accepted")
+	}
+
+	for _, N := range []int{2, 3} {
+		p := base
+		p.Population = N
+		n, err := p.RequiredSampleSize()
+		if err != nil {
+			t.Fatalf("RequiredSampleSize(N=%d): %v", N, err)
+		}
+		if n < 2 || n > N {
+			t.Errorf("RequiredSampleSize(N=%d) = %d, want within [2, %d]", N, n, N)
+		}
+	}
+}
+
+// TestExpectedAccuracyCensusBoundary pins the n == N and n > N
+// boundaries: a census has exactly zero extrapolation error, and a
+// sample larger than the population is rejected — the same condition
+// stats.MeanCIFromStats refuses — rather than silently skipping the
+// finite population correction.
+func TestExpectedAccuracyCensusBoundary(t *testing.T) {
+	p := Plan{Confidence: 0.95, Accuracy: 0.01, CV: 0.02, Population: 50}
+	acc, err := p.ExpectedAccuracy(50)
+	if err != nil {
+		t.Fatalf("ExpectedAccuracy(n == N): %v", err)
+	}
+	if acc != 0 || math.IsNaN(acc) {
+		t.Errorf("ExpectedAccuracy(n == N) = %v, want exactly 0", acc)
+	}
+	if _, err := p.ExpectedAccuracy(51); err == nil {
+		t.Error("ExpectedAccuracy(n > N) accepted")
+	}
+}

@@ -1,0 +1,145 @@
+package server
+
+import (
+	"context"
+	"sync"
+)
+
+// cacheStatus reports how a request was served, echoed in the X-Cache
+// response header.
+type cacheStatus string
+
+const (
+	cacheHit       cacheStatus = "hit"
+	cacheMiss      cacheStatus = "miss"
+	cacheCoalesced cacheStatus = "coalesced"
+)
+
+// flight is one in-progress computation. Waiters park on done; body and
+// err are safe to read after done closes. waiters, finished and the
+// abandon decision are guarded by mu.
+type flight struct {
+	done   chan struct{}
+	cancel context.CancelFunc
+	body   []byte
+	err    error
+
+	mu       sync.Mutex
+	waiters  int
+	finished bool
+}
+
+// resultCache is a keyed byte cache with singleflight coalescing.
+// Completed successful results are kept (FIFO-evicted past max); at most
+// one computation runs per key at a time, and concurrent requests for
+// the same key share it. A computation runs on a context derived from
+// the server's lifecycle, not any single request: callers that stop
+// waiting merely detach, and only when the last waiter detaches is the
+// computation itself canceled — wiring per-request timeouts into the
+// CoverageStudyCtx cancellation stack without letting one impatient
+// client cancel work others still want.
+type resultCache struct {
+	max int
+
+	mu      sync.Mutex
+	results map[string][]byte
+	order   []string
+	flights map[string]*flight
+}
+
+func newResultCache(max int) *resultCache {
+	return &resultCache{
+		max:     max,
+		results: map[string][]byte{},
+		flights: map[string]*flight{},
+	}
+}
+
+// Do returns the bytes for key, computing them at most once per flight.
+// ctx is the caller's request context (bounds only this caller's wait);
+// base is the server lifecycle context the computation itself runs on.
+// Failed computations are not cached: the next request retries.
+func (c *resultCache) Do(ctx, base context.Context, key string, compute func(context.Context) ([]byte, error)) ([]byte, cacheStatus, error) {
+	c.mu.Lock()
+	if b, ok := c.results[key]; ok {
+		c.mu.Unlock()
+		mCacheHits.Inc()
+		return b, cacheHit, nil
+	}
+	f, inFlight := c.flights[key]
+	status := cacheCoalesced
+	if inFlight {
+		mCacheCoalesced.Inc()
+	} else {
+		fctx, cancel := context.WithCancel(base)
+		f = &flight{done: make(chan struct{}), cancel: cancel}
+		c.flights[key] = f
+		status = cacheMiss
+		mCacheMisses.Inc()
+		go c.run(f, key, fctx, compute)
+	}
+	f.mu.Lock()
+	f.waiters++
+	f.mu.Unlock()
+	c.mu.Unlock()
+
+	select {
+	case <-f.done:
+		return f.body, status, f.err
+	case <-ctx.Done():
+		f.mu.Lock()
+		f.waiters--
+		abandon := f.waiters == 0 && !f.finished
+		f.mu.Unlock()
+		if abandon {
+			// Nobody is waiting for this result anymore: cancel the
+			// flight's context so the study stops at its next chunk
+			// boundary instead of burning cycles for an empty room.
+			mAbandoned.Inc()
+			f.cancel()
+		}
+		return nil, status, ctx.Err()
+	}
+}
+
+// run executes the flight and publishes its result. It removes the
+// flight from the map and caches the body under the same cache lock, so
+// no request can observe a completed flight that is neither cached nor
+// in the flights map.
+func (c *resultCache) run(f *flight, key string, fctx context.Context, compute func(context.Context) ([]byte, error)) {
+	body, err := compute(fctx)
+	c.mu.Lock()
+	f.mu.Lock()
+	f.body, f.err, f.finished = body, err, true
+	f.mu.Unlock()
+	delete(c.flights, key)
+	if err == nil {
+		c.insert(key, body)
+	}
+	close(f.done)
+	c.mu.Unlock()
+	f.cancel()
+}
+
+// insert stores a completed result, evicting the oldest entries past the
+// cap. Caller holds c.mu.
+func (c *resultCache) insert(key string, body []byte) {
+	if _, ok := c.results[key]; ok {
+		return
+	}
+	c.results[key] = body
+	c.order = append(c.order, key)
+	for len(c.order) > c.max {
+		old := c.order[0]
+		c.order = c.order[1:]
+		delete(c.results, old)
+		mCacheEvicted.Inc()
+	}
+}
+
+// Len reports how many completed results are cached.
+func (c *resultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.results)
+}

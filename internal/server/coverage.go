@@ -1,0 +1,231 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"time"
+
+	"nodevar/internal/obs"
+	"nodevar/internal/sampling"
+	"nodevar/internal/systems"
+)
+
+// Request-size guards: a coverage study's cost is
+// replicates × population × len(SampleSizes), so each axis is bounded
+// before any work starts. Replicates are additionally bounded by the
+// operator-configurable Config.MaxReplicates.
+const (
+	maxPilotData   = 65536
+	maxSampleSizes = 32
+	maxLevels      = 16
+)
+
+// coverageConfig resolves a request into a runnable study config and
+// the normalized request (defaults applied) that seeds the cache key
+// and response echo. Chunks is pinned so the deterministic
+// decomposition — and therefore byte-identity of cached results — never
+// depends on a library default changing.
+func (s *Server) coverageConfig(req CoverageRequest) (sampling.CoverageConfig, CoverageRequest, error) {
+	if req.Seed == 0 {
+		req.Seed = 2015
+	}
+	if req.Replicates == 0 {
+		req.Replicates = 2000
+	}
+	if len(req.SampleSizes) == 0 {
+		req.SampleSizes = []int{3, 5, 10, 20}
+	}
+	if len(req.Levels) == 0 {
+		req.Levels = []float64{0.80, 0.95, 0.99}
+	}
+	switch {
+	case req.Replicates < 0 || req.Replicates > s.cfg.MaxReplicates:
+		return sampling.CoverageConfig{}, req, fmt.Errorf("replicates outside [1, %d]", s.cfg.MaxReplicates)
+	case len(req.SampleSizes) > maxSampleSizes:
+		return sampling.CoverageConfig{}, req, fmt.Errorf("at most %d sample sizes per request", maxSampleSizes)
+	case len(req.Levels) > maxLevels:
+		return sampling.CoverageConfig{}, req, fmt.Errorf("at most %d confidence levels per request", maxLevels)
+	case len(req.PilotData) > maxPilotData:
+		return sampling.CoverageConfig{}, req, fmt.Errorf("pilot_data capped at %d nodes", maxPilotData)
+	}
+
+	var pilot []float64
+	if len(req.PilotData) > 0 {
+		if req.System != "" || req.PilotSize != 0 {
+			return sampling.CoverageConfig{}, req, errors.New("pilot_data replaces system/pilot_size; give one or the other")
+		}
+		if req.Population == 0 {
+			return sampling.CoverageConfig{}, req, errors.New("pilot_data needs an explicit population")
+		}
+		pilot = req.PilotData
+	} else {
+		if req.System == "" {
+			req.System = "lrz"
+		}
+		if req.PilotSize == 0 {
+			req.PilotSize = 516
+		}
+		spec, err := systems.ByKey(req.System)
+		if err != nil {
+			return sampling.CoverageConfig{}, req, err
+		}
+		pilot, err = systems.PilotSample(spec, req.Seed, req.PilotSize)
+		if err != nil {
+			return sampling.CoverageConfig{}, req, err
+		}
+		if req.Population == 0 {
+			req.Population = spec.TotalNodes
+		}
+	}
+
+	cfg := sampling.CoverageConfig{
+		Pilot:       pilot,
+		Population:  req.Population,
+		SampleSizes: req.SampleSizes,
+		Levels:      req.Levels,
+		Replicates:  req.Replicates,
+		Seed:        req.Seed,
+		Chunks:      64,
+		UseZ:        req.UseZ,
+	}
+	if err := cfg.Validate(); err != nil {
+		return sampling.CoverageConfig{}, req, err
+	}
+	return cfg, req, nil
+}
+
+// coverageKey is the cache identity of a study: the provenance pair
+// (fingerprint, seed) — the fingerprint digests every result-shaping
+// field including the pilot data — plus the human-readable envelope for
+// debuggability.
+func coverageKey(req CoverageRequest, cfg sampling.CoverageConfig) string {
+	sys := req.System
+	if len(req.PilotData) > 0 {
+		sys = "custom"
+	}
+	return fmt.Sprintf("coverage|%s|pop=%d|reps=%d|seed=%d|z=%t|fp=%s",
+		sys, cfg.Population, cfg.Replicates, cfg.Seed, cfg.UseZ, fingerprintString(cfg.Fingerprint()))
+}
+
+// handleCoverage runs (or serves from cache) a Figure 3 coverage study.
+// Identical configurations coalesce onto one in-flight study and every
+// response body is byte-identical, hit or miss.
+func (s *Server) handleCoverage(w http.ResponseWriter, r *http.Request) {
+	var req CoverageRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, codeBadJSON, err.Error())
+		return
+	}
+	cfg, norm, err := s.coverageConfig(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, codeInvalidPlan, err.Error())
+		return
+	}
+	key := coverageKey(norm, cfg)
+	body, status, err := s.cache.Do(r.Context(), s.base, key, func(ctx context.Context) ([]byte, error) {
+		return s.computeCoverage(ctx, norm, cfg)
+	})
+	w.Header().Set("X-Cache", string(status))
+	if err != nil {
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			writeError(w, http.StatusGatewayTimeout, codeTimeout, "coverage study did not finish within the request budget")
+		case errors.Is(err, context.Canceled):
+			writeError(w, http.StatusServiceUnavailable, codeUnavailable, "coverage study canceled")
+		default:
+			writeError(w, http.StatusInternalServerError, codeInternal, err.Error())
+		}
+		return
+	}
+	writeBody(w, http.StatusOK, body)
+}
+
+// computeCoverage executes one coalesced study: run, marshal once (the
+// cached bytes every caller receives), and record a manifest-v3 run
+// record carrying the same seed/fingerprint provenance a CLI run would.
+func (s *Server) computeCoverage(ctx context.Context, norm CoverageRequest, cfg sampling.CoverageConfig) ([]byte, error) {
+	if s.coverageGate != nil {
+		if err := s.coverageGate(ctx); err != nil {
+			return nil, err
+		}
+	}
+	start := time.Now()
+	points, err := sampling.CoverageStudyCtx(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	hStudy.Observe(time.Since(start).Seconds())
+
+	resp := CoverageResponse{
+		Request:     norm,
+		Seed:        cfg.Seed,
+		Fingerprint: fingerprintString(cfg.Fingerprint()),
+		Points:      make([]CoveragePointJSON, 0, len(points)),
+	}
+	for _, p := range points {
+		resp.Points = append(resp.Points, CoveragePointJSON{
+			SampleSize:   p.SampleSize,
+			Level:        p.Level,
+			Coverage:     p.Coverage,
+			MeanRelWidth: p.MeanRelWidth,
+			Replicates:   p.Replicates,
+		})
+	}
+	body, err := json.Marshal(resp)
+	if err != nil {
+		return nil, err
+	}
+	s.writeCoverageManifest(norm, cfg, start)
+	return body, nil
+}
+
+// writeCoverageManifest records one computed study as a manifest-v3 run
+// record in Config.ManifestDir. Failures are logged, not returned: the
+// study result is valid either way, and an unwritable manifest dir must
+// not take the endpoint down.
+func (s *Server) writeCoverageManifest(norm CoverageRequest, cfg sampling.CoverageConfig, start time.Time) {
+	if s.cfg.ManifestDir == "" {
+		return
+	}
+	config := map[string]any{
+		"system":       norm.System,
+		"pilot_nodes":  len(cfg.Pilot),
+		"population":   cfg.Population,
+		"sample_sizes": cfg.SampleSizes,
+		"levels":       cfg.Levels,
+		"replicates":   cfg.Replicates,
+		"seed":         cfg.Seed,
+		"use_z":        cfg.UseZ,
+		"fingerprint":  fingerprintString(cfg.Fingerprint()),
+	}
+	if len(norm.PilotData) > 0 {
+		config["system"] = "custom"
+	}
+	m := obs.NewManifest("nodevard/coverage", nil, config, start, nil)
+	path := filepath.Join(s.cfg.ManifestDir,
+		fmt.Sprintf("coverage-%d-%s.json", cfg.Seed, fingerprintString(cfg.Fingerprint())))
+	if err := os.MkdirAll(s.cfg.ManifestDir, 0o755); err != nil {
+		s.log.Error("coverage manifest dir unwritable", "dir", s.cfg.ManifestDir, "err", err)
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		s.log.Error("coverage manifest unwritable", "path", path, "err", err)
+		return
+	}
+	if err := m.WriteJSON(f); err == nil {
+		err = f.Close()
+		if err != nil {
+			s.log.Error("coverage manifest close failed", "path", path, "err", err)
+		}
+	} else {
+		f.Close()
+		s.log.Error("coverage manifest write failed", "path", path, "err", err)
+	}
+	s.log.Debug("coverage manifest written", "path", path)
+}

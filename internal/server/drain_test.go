@@ -1,0 +1,101 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestGracefulDrain exercises the SIGTERM drain contract at the
+// http.Server layer the command wires up: once Shutdown starts, new
+// connections are refused immediately while the in-flight request — held
+// mid-study by the test gate — runs to completion and receives its full
+// response.
+func TestGracefulDrain(t *testing.T) {
+	base, baseCancel := context.WithCancel(context.Background())
+	defer baseCancel()
+	s := New(Config{BaseContext: base})
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	s.coverageGate = func(ctx context.Context) error {
+		close(entered)
+		select {
+		case <-release:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	go hs.Serve(ln)
+	url := "http://" + ln.Addr().String()
+
+	// In-flight request: enters the study and parks on the gate.
+	type result struct {
+		status int
+		body   []byte
+		err    error
+	}
+	inflight := make(chan result, 1)
+	go func() {
+		resp, err := http.Post(url+"/v1/coverage", "application/json", strings.NewReader(coverageBody))
+		if err != nil {
+			inflight <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		inflight <- result{status: resp.StatusCode, body: b, err: err}
+	}()
+	<-entered
+
+	// Begin the drain. Shutdown closes the listener before waiting, so
+	// poll until new connections are refused.
+	shutdownDone := make(chan error, 1)
+	sctx, scancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer scancel()
+	go func() { shutdownDone <- hs.Shutdown(sctx) }()
+	waitFor(t, "listener to refuse new requests", func() bool {
+		c, err := net.DialTimeout("tcp", ln.Addr().String(), 100*time.Millisecond)
+		if err == nil {
+			c.Close()
+		}
+		return err != nil
+	})
+
+	select {
+	case r := <-inflight:
+		t.Fatalf("in-flight request ended during drain before release: %+v", r)
+	default:
+	}
+
+	// Release the study: the in-flight request must complete normally
+	// and Shutdown must then return cleanly.
+	close(release)
+	r := <-inflight
+	if r.err != nil || r.status != http.StatusOK {
+		t.Fatalf("in-flight request during drain: status %d err %v\n%s", r.status, r.err, r.body)
+	}
+	var resp CoverageResponse
+	if err := json.Unmarshal(r.body, &resp); err != nil || len(resp.Points) == 0 {
+		t.Fatalf("drained response not a complete study result: %v\n%s", err, r.body)
+	}
+	select {
+	case err := <-shutdownDone:
+		if err != nil {
+			t.Fatalf("Shutdown: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("Shutdown did not return after the in-flight request completed")
+	}
+}

@@ -1,0 +1,142 @@
+package server
+
+import (
+	"net/http"
+	"strconv"
+
+	"nodevar/internal/methodology"
+	"nodevar/internal/sampling"
+	"nodevar/internal/stats"
+)
+
+// handleSampleSize plans a measurement: Plan → recommended n (Equation 5
+// with finite population correction) plus the accuracy that n actually
+// achieves under the exact t quantile.
+func (s *Server) handleSampleSize(w http.ResponseWriter, r *http.Request) {
+	var req SampleSizeRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, codeBadJSON, err.Error())
+		return
+	}
+	if req.Confidence == 0 {
+		req.Confidence = 0.95
+	}
+	plan := sampling.Plan{
+		Confidence: req.Confidence,
+		Accuracy:   req.Accuracy,
+		CV:         req.CV,
+		Population: req.Population,
+	}
+	n, err := plan.RequiredSampleSize()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, codeInvalidPlan, err.Error())
+		return
+	}
+	acc, err := plan.ExpectedAccuracy(n)
+	if err != nil {
+		// Unreachable for a plan RequiredSampleSize accepted; surface
+		// loudly rather than guessing.
+		writeError(w, http.StatusInternalServerError, codeInternal, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, SampleSizeResponse{Nodes: n, AchievedAccuracy: acc, Plan: req})
+}
+
+// handleAccuracy inverts the formula: n → λ. Plan mode uses the
+// anticipated CV; measured mode builds the realized interval from
+// summary statistics, going through the degraded-tolerant
+// RelativeHalfWidthOK path so a zero-power best-effort aggregate is a
+// flagged degraded response, never a panic.
+func (s *Server) handleAccuracy(w http.ResponseWriter, r *http.Request) {
+	var req AccuracyRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, codeBadJSON, err.Error())
+		return
+	}
+	if req.Confidence == 0 {
+		req.Confidence = 0.95
+	}
+	measured := req.Mean != nil || req.SD != nil
+	if measured {
+		switch {
+		case req.Mean == nil || req.SD == nil:
+			writeError(w, http.StatusBadRequest, codeBadRequest, "measured mode needs both mean and sd")
+			return
+		case req.CV != 0:
+			writeError(w, http.StatusBadRequest, codeBadRequest, "give either cv (plan mode) or mean/sd (measured mode), not both")
+			return
+		case *req.SD < 0:
+			writeError(w, http.StatusBadRequest, codeBadRequest, "sd must be non-negative")
+			return
+		case req.N < 2:
+			writeError(w, http.StatusBadRequest, codeBadRequest, "n must be at least 2")
+			return
+		case req.Population < 0:
+			writeError(w, http.StatusBadRequest, codeBadRequest, "population must be non-negative")
+			return
+		case req.Population > 0 && req.N > req.Population:
+			// The same n > N condition stats.MeanCIFromStats refuses and
+			// sampling.Plan.ExpectedAccuracy errors on.
+			writeError(w, http.StatusBadRequest, codeBadRequest, "sample larger than population")
+			return
+		case !(req.Confidence > 0 && req.Confidence < 1):
+			writeError(w, http.StatusBadRequest, codeBadRequest, "confidence outside (0, 1)")
+			return
+		}
+		ci := stats.MeanCIFromStats(*req.Mean, *req.SD, req.N, stats.CIOptions{
+			Confidence:     req.Confidence,
+			PopulationSize: req.Population,
+		})
+		a := methodology.Assessment{Confidence: req.Confidence}.WithSubsetInterval(ci)
+		resp := AccuracyResponse{Accuracy: a.SubsetAccuracy, Degraded: a.Degraded}
+		if len(a.Notes) > 0 {
+			resp.Note = a.Notes[0]
+		}
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+
+	plan := sampling.Plan{
+		Confidence: req.Confidence,
+		Accuracy:   0.01, // placeholder; ExpectedAccuracy ignores it
+		CV:         req.CV,
+		Population: req.Population,
+	}
+	acc, err := plan.ExpectedAccuracy(req.N)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, codeInvalidPlan, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, AccuracyResponse{Accuracy: acc})
+}
+
+// handleTable5 serves the paper's Table 5 recommendation grid.
+func (s *Server) handleTable5(w http.ResponseWriter, r *http.Request) {
+	t := sampling.PaperTable5()
+	writeJSON(w, http.StatusOK, Table5Response{
+		Accuracies: t.Accuracies,
+		CVs:        t.CVs,
+		Population: t.Population,
+		Confidence: t.Confidence,
+		N:          t.N,
+	})
+}
+
+// handleRules compares the Level-1 1/64 rule with the paper's revised
+// max(16, 10%) rule for the node count in the ?nodes= query parameter.
+func (s *Server) handleRules(w http.ResponseWriter, r *http.Request) {
+	nodes, err := strconv.Atoi(r.URL.Query().Get("nodes"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, codeBadRequest, "nodes query parameter must be an integer")
+		return
+	}
+	if nodes <= 0 {
+		writeError(w, http.StatusBadRequest, codeBadRequest, "nodes must be positive")
+		return
+	}
+	writeJSON(w, http.StatusOK, RulesResponse{
+		Nodes:   nodes,
+		Level1:  sampling.Level1Nodes(nodes),
+		Revised: sampling.RevisedRuleNodes(nodes),
+	})
+}

@@ -1,0 +1,90 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"runtime/debug"
+	"time"
+
+	"nodevar/internal/obs"
+)
+
+// statusWriter records the response status for instrumentation.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument counts the request (globally and per endpoint), tracks the
+// in-flight gauge, and observes end-to-end latency including shed and
+// error paths — a shed request is still a served request.
+func (s *Server) instrument(name string, h http.Handler) http.Handler {
+	reqs := obs.NewCounter("server.requests." + name)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mRequests.Inc()
+		reqs.Inc()
+		gInflight.Set(float64(s.inflight.Add(1)))
+		defer func() { gInflight.Set(float64(s.inflight.Add(-1))) }()
+		t0 := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h.ServeHTTP(sw, r)
+		hLatency.Observe(time.Since(t0).Seconds())
+		if sw.status >= 500 {
+			mErrors.Inc()
+		}
+	})
+}
+
+// limit sheds load past the concurrency cap: a request that cannot
+// immediately acquire a slot is answered 429 with Retry-After rather
+// than queued, keeping latency bounded for the requests that do get in.
+func (s *Server) limit(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+			h.ServeHTTP(w, r)
+		default:
+			mShed.Inc()
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, codeShed,
+				"server at its concurrency limit; retry shortly")
+		}
+	})
+}
+
+// timeout bounds the request with the configured deadline. Handlers pass
+// the request context down into CoverageStudyCtx waits, so the deadline
+// is the request's whole budget, not just its queueing time.
+func (s *Server) timeout(h http.Handler) http.Handler {
+	if s.cfg.RequestTimeout <= 0 {
+		return h
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		h.ServeHTTP(w, r.WithContext(ctx))
+	})
+}
+
+// protect converts a handler panic into a structured 500 instead of
+// tearing down the connection, mirroring the worker panic isolation in
+// internal/parallel.
+func (s *Server) protect(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if p := recover(); p != nil {
+				mPanics.Inc()
+				s.log.Error("handler panic recovered",
+					"path", r.URL.Path, "panic", p, "stack", string(debug.Stack()))
+				writeError(w, http.StatusInternalServerError, codeInternal, "internal error")
+			}
+		}()
+		h.ServeHTTP(w, r)
+	})
+}

@@ -1,0 +1,165 @@
+// Package server implements nodevard's HTTP JSON API: the paper's
+// sample-size methodology served as a request/response workload. The
+// endpoints expose Equations 1-5 and Table 5 (/v1/samplesize,
+// /v1/accuracy, /v1/table5), the Level-1 versus revised subset rules
+// (/v1/rules), and the Figure 3 bootstrap coverage study (/v1/coverage).
+//
+// Expensive work goes through a keyed in-memory result cache with
+// singleflight coalescing: one coverage study runs per unique
+// configuration no matter how many concurrent requests ask for it, and
+// every caller — leader, coalesced waiter, or later cache hit — receives
+// byte-identical JSON because the study is deterministically seeded and
+// the response is marshaled exactly once. The handler stack sheds load
+// with 429s past a concurrency limit, bounds every request with a
+// timeout wired into the CoverageStudyCtx cancellation stack (a study
+// abandoned by all of its waiters is canceled at its next chunk
+// boundary), and instruments everything through the internal/obs
+// registry, exported at /debug/metrics, /debug/vars and /debug/pprof.
+package server
+
+import (
+	"context"
+	"expvar"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
+	"sync/atomic"
+	"time"
+
+	"nodevar/internal/obs"
+)
+
+// Serving metrics. Counters and gauges live in the process-wide obs
+// registry, so a nodevard manifest and /debug/metrics expose the same
+// names the CLI tools already emit.
+var (
+	mRequests  = obs.NewCounter("server.requests")
+	mShed      = obs.NewCounter("server.shed")
+	mErrors    = obs.NewCounter("server.errors_5xx")
+	mPanics    = obs.NewCounter("server.panics_recovered")
+	gInflight  = obs.NewGauge("server.inflight")
+	hLatency   = obs.NewHistogram("server.request_seconds",
+		[]float64{0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 30})
+	mCacheHits      = obs.NewCounter("server.cache.hits")
+	mCacheMisses    = obs.NewCounter("server.cache.misses")
+	mCacheCoalesced = obs.NewCounter("server.cache.coalesced")
+	mCacheEvicted   = obs.NewCounter("server.cache.evictions")
+	mAbandoned      = obs.NewCounter("server.coverage.abandoned")
+	hStudy          = obs.NewHistogram("server.coverage.study_seconds",
+		[]float64{0.01, 0.05, 0.1, 0.5, 1, 5, 30, 120})
+)
+
+// Config parameterizes a Server. The zero value is usable: every field
+// has a production default.
+type Config struct {
+	// MaxConcurrent caps in-flight /v1/ requests; excess requests are
+	// shed immediately with 429 and a Retry-After header rather than
+	// queued into a latency collapse. Default 64.
+	MaxConcurrent int
+	// RequestTimeout bounds each /v1/ request. The deadline propagates
+	// through the request context into CoverageStudyCtx, so a timed-out
+	// request stops waiting (504) and, when it was the last waiter on a
+	// coverage flight, cancels the underlying study at its next chunk
+	// boundary. Default 60s; <= 0 means no per-request deadline.
+	RequestTimeout time.Duration
+	// MaxReplicates rejects /v1/coverage requests asking for more
+	// bootstrap replicates than the operator allows. Default 200000 (the
+	// paper's scale).
+	MaxReplicates int
+	// CacheEntries caps the completed-result cache; the oldest entry is
+	// evicted first. Default 128.
+	CacheEntries int
+	// ManifestDir, when non-empty, receives one manifest-v3 run record
+	// per coverage computation (cache misses only — hits are served from
+	// memory and inherit the original record), named by the study's
+	// (seed, fingerprint) provenance pair.
+	ManifestDir string
+	// BaseContext is the server's lifecycle context: coalesced coverage
+	// studies run on a context derived from it, not from any single
+	// request, so one caller's disconnect cannot cancel work other
+	// callers are waiting on. Cancel it only after draining. Default
+	// context.Background().
+	BaseContext context.Context
+	// Log receives request-level diagnostics. Default: discard.
+	Log *slog.Logger
+}
+
+// Server is the nodevard HTTP API. Create one with New and mount
+// Handler on an http.Server.
+type Server struct {
+	cfg      Config
+	log      *slog.Logger
+	base     context.Context
+	sem      chan struct{}
+	cache    *resultCache
+	inflight atomic.Int64
+
+	// coverageGate, when non-nil, is called at the start of every
+	// coverage computation with the flight's context. Tests use it to
+	// hold a study in flight at an exact point; production servers leave
+	// it nil.
+	coverageGate func(context.Context) error
+}
+
+// New builds a Server, applying defaults for unset Config fields.
+func New(cfg Config) *Server {
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = 64
+	}
+	if cfg.RequestTimeout == 0 {
+		cfg.RequestTimeout = 60 * time.Second
+	}
+	if cfg.MaxReplicates <= 0 {
+		cfg.MaxReplicates = 200000
+	}
+	if cfg.CacheEntries <= 0 {
+		cfg.CacheEntries = 128
+	}
+	if cfg.BaseContext == nil {
+		cfg.BaseContext = context.Background()
+	}
+	if cfg.Log == nil {
+		cfg.Log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	return &Server{
+		cfg:   cfg,
+		log:   cfg.Log,
+		base:  cfg.BaseContext,
+		sem:   make(chan struct{}, cfg.MaxConcurrent),
+		cache: newResultCache(cfg.CacheEntries),
+	}
+}
+
+// Handler returns the server's route table. API routes pass through the
+// middleware stack (instrumentation, load shedding, per-request timeout,
+// panic recovery); health and debug routes bypass the limiter so an
+// overloaded server can still be observed.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	api := func(name string, h http.HandlerFunc) http.Handler {
+		return s.instrument(name, s.limit(s.timeout(s.protect(h))))
+	}
+	mux.Handle("POST /v1/samplesize", api("samplesize", s.handleSampleSize))
+	mux.Handle("POST /v1/accuracy", api("accuracy", s.handleAccuracy))
+	mux.Handle("GET /v1/table5", api("table5", s.handleTable5))
+	mux.Handle("GET /v1/rules", api("rules", s.handleRules))
+	mux.Handle("POST /v1/coverage", api("coverage", s.handleCoverage))
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, `{"status":"ok"}`+"\n")
+	})
+	mux.HandleFunc("GET /debug/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		obs.Default().Snapshot().WriteJSON(w)
+	})
+	obs.PublishExpvar()
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	return mux
+}

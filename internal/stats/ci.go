@@ -28,12 +28,28 @@ func (ci Interval) Contains(v float64) bool {
 }
 
 // RelativeHalfWidth returns HalfWidth / |Center|, the paper's accuracy
-// statement λ ("within λ·μ of the true total"). It panics if Center is 0.
+// statement λ ("within λ·μ of the true total"). It panics if Center is 0;
+// pipelines that can legitimately produce a zero or NaN center (degraded,
+// fault-injected aggregations) should use RelativeHalfWidthOK instead.
 func (ci Interval) RelativeHalfWidth() float64 {
-	if ci.Center == 0 {
+	rel, ok := ci.RelativeHalfWidthOK()
+	if !ok {
 		panic("stats: relative half-width undefined for zero center")
 	}
-	return ci.HalfWidth / math.Abs(ci.Center)
+	return rel
+}
+
+// RelativeHalfWidthOK is the non-panicking variant of RelativeHalfWidth:
+// it reports HalfWidth/|Center| and true, or 0 and false when the center
+// is 0 or NaN — degenerate point estimates that best-effort aggregation
+// over dropped nodes or meters can produce (see internal/faults). Callers
+// on fault-tolerant paths must surface the false case as a degraded
+// result rather than a 0% error.
+func (ci Interval) RelativeHalfWidthOK() (float64, bool) {
+	if ci.Center == 0 || math.IsNaN(ci.Center) {
+		return 0, false
+	}
+	return ci.HalfWidth / math.Abs(ci.Center), true
 }
 
 // String formats the interval as "x ± h (95%)".

@@ -145,3 +145,53 @@ func TestMeanCIEmpiricalCoverage(t *testing.T) {
 		t.Errorf("empirical coverage of 95%% t-interval = %.3f", rate)
 	}
 }
+
+// TestRelativeHalfWidthOK covers the non-panicking variant: a zero or
+// NaN center — possible under best-effort aggregation of faulted runs —
+// reports false instead of panicking, and the panicking variant still
+// panics so existing callers keep their loud failure mode.
+func TestRelativeHalfWidthOK(t *testing.T) {
+	ci := Interval{Center: 10, HalfWidth: 2, Confidence: 0.95}
+	if rel, ok := ci.RelativeHalfWidthOK(); !ok || rel != 0.2 {
+		t.Errorf("RelativeHalfWidthOK = %v, %v; want 0.2, true", rel, ok)
+	}
+	ci.Center = -10
+	if rel, ok := ci.RelativeHalfWidthOK(); !ok || rel != 0.2 {
+		t.Errorf("negative-center RelativeHalfWidthOK = %v, %v; want 0.2, true", rel, ok)
+	}
+	for _, center := range []float64{0, math.NaN()} {
+		ci := Interval{Center: center, HalfWidth: 2, Confidence: 0.95}
+		if rel, ok := ci.RelativeHalfWidthOK(); ok || rel != 0 {
+			t.Errorf("center %v: RelativeHalfWidthOK = %v, %v; want 0, false", center, rel, ok)
+		}
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("RelativeHalfWidth did not panic on zero center")
+		}
+	}()
+	_ = Interval{Center: 0, HalfWidth: 2}.RelativeHalfWidth()
+}
+
+// TestMeanCICensusBoundary pins n == N: sampling the whole population
+// collapses the finite population correction to exactly 0, so the
+// relative half-width is 0 (not NaN) — agreeing with
+// sampling.Plan.ExpectedAccuracy — while n > N still panics.
+func TestMeanCICensusBoundary(t *testing.T) {
+	opts := CIOptions{Confidence: 0.95, PopulationSize: 4}
+	ci := MeanCIFromStats(100, 5, 4, opts)
+	if ci.HalfWidth != 0 {
+		t.Errorf("census half-width = %v, want exactly 0", ci.HalfWidth)
+	}
+	if rel, ok := ci.RelativeHalfWidthOK(); !ok || rel != 0 {
+		t.Errorf("census relative half-width = %v, %v; want 0, true", rel, ok)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("MeanCIFromStats did not panic on n > N")
+		}
+	}()
+	MeanCIFromStats(100, 5, 5, opts)
+}
