@@ -44,6 +44,7 @@ func realMain() int {
 		reqTimeout    = flag.Duration("request-timeout", 60*time.Second, "per-request budget; 0 disables")
 		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "grace for in-flight requests after a shutdown signal")
 		maxReplicates = flag.Int("max-replicates", 200000, "largest /v1/coverage replicate count accepted")
+		maxPopulation = flag.Int("max-population", 1000000, "largest /v1/coverage simulated machine size accepted")
 		cacheEntries  = flag.Int("cache-entries", 128, "completed coverage results kept in memory")
 		manifestDir   = flag.String("manifest-dir", "", "write one manifest-v3 run record per computed coverage study here")
 		obsFlags      = cli.RegisterObsFlags()
@@ -64,6 +65,7 @@ func realMain() int {
 	run.SetConfig("max_concurrent", *maxConc)
 	run.SetConfig("request_timeout", reqTimeout.String())
 	run.SetConfig("max_replicates", *maxReplicates)
+	run.SetConfig("max_population", *maxPopulation)
 
 	// The server's lifecycle context outlives the signal context: drain
 	// first (in-flight coverage studies finish and get cached), cancel
@@ -74,6 +76,7 @@ func realMain() int {
 		MaxConcurrent:  *maxConc,
 		RequestTimeout: *reqTimeout,
 		MaxReplicates:  *maxReplicates,
+		MaxPopulation:  *maxPopulation,
 		CacheEntries:   *cacheEntries,
 		ManifestDir:    *manifestDir,
 		BaseContext:    baseCtx,

@@ -16,8 +16,8 @@ const (
 )
 
 // flight is one in-progress computation. Waiters park on done; body and
-// err are safe to read after done closes. waiters, finished and the
-// abandon decision are guarded by mu.
+// err are safe to read after done closes. waiters, finished, canceled
+// and the abandon decision are guarded by mu.
 type flight struct {
 	done   chan struct{}
 	cancel context.CancelFunc
@@ -27,12 +27,18 @@ type flight struct {
 	mu       sync.Mutex
 	waiters  int
 	finished bool
+	// canceled marks a flight abandoned by its last waiter: its context
+	// is already canceled, so joining it could only yield
+	// context.Canceled. Do treats a canceled flight as absent and leads
+	// a replacement.
+	canceled bool
 }
 
 // resultCache is a keyed byte cache with singleflight coalescing.
 // Completed successful results are kept (FIFO-evicted past max); at most
-// one computation runs per key at a time, and concurrent requests for
-// the same key share it. A computation runs on a context derived from
+// one live computation runs per key at a time, and concurrent requests
+// for the same key share it (an abandoned, canceled computation may
+// overlap its replacement briefly while it unwinds). A computation runs on a context derived from
 // the server's lifecycle, not any single request: callers that stop
 // waiting merely detach, and only when the last waiter detaches is the
 // computation itself canceled — wiring per-request timeouts into the
@@ -69,18 +75,29 @@ func (c *resultCache) Do(ctx, base context.Context, key string, compute func(con
 	f, inFlight := c.flights[key]
 	status := cacheCoalesced
 	if inFlight {
-		mCacheCoalesced.Inc()
-	} else {
+		// Check-and-join is one critical section: once a waiter joins, a
+		// concurrent abandon sees waiters > 0 and leaves the flight
+		// alive; once the last waiter marks the flight canceled, a new
+		// request sees the flag and leads a replacement instead of
+		// inheriting the doomed flight's context.Canceled.
+		f.mu.Lock()
+		if f.canceled {
+			inFlight = false
+			f.mu.Unlock()
+		} else {
+			f.waiters++
+			f.mu.Unlock()
+			mCacheCoalesced.Inc()
+		}
+	}
+	if !inFlight {
 		fctx, cancel := context.WithCancel(base)
-		f = &flight{done: make(chan struct{}), cancel: cancel}
+		f = &flight{done: make(chan struct{}), cancel: cancel, waiters: 1}
 		c.flights[key] = f
 		status = cacheMiss
 		mCacheMisses.Inc()
 		go c.run(f, key, fctx, compute)
 	}
-	f.mu.Lock()
-	f.waiters++
-	f.mu.Unlock()
 	c.mu.Unlock()
 
 	select {
@@ -90,6 +107,9 @@ func (c *resultCache) Do(ctx, base context.Context, key string, compute func(con
 		f.mu.Lock()
 		f.waiters--
 		abandon := f.waiters == 0 && !f.finished
+		if abandon {
+			f.canceled = true
+		}
 		f.mu.Unlock()
 		if abandon {
 			// Nobody is waiting for this result anymore: cancel the
@@ -105,14 +125,17 @@ func (c *resultCache) Do(ctx, base context.Context, key string, compute func(con
 // run executes the flight and publishes its result. It removes the
 // flight from the map and caches the body under the same cache lock, so
 // no request can observe a completed flight that is neither cached nor
-// in the flights map.
+// in the flights map. An abandoned flight may have been replaced in the
+// map by a successor, so only its own registration is removed.
 func (c *resultCache) run(f *flight, key string, fctx context.Context, compute func(context.Context) ([]byte, error)) {
 	body, err := compute(fctx)
 	c.mu.Lock()
 	f.mu.Lock()
 	f.body, f.err, f.finished = body, err, true
 	f.mu.Unlock()
-	delete(c.flights, key)
+	if c.flights[key] == f {
+		delete(c.flights, key)
+	}
 	if err == nil {
 		c.insert(key, body)
 	}

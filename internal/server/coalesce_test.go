@@ -3,8 +3,10 @@ package server
 import (
 	"bytes"
 	"context"
+	"errors"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -158,6 +160,60 @@ func TestCoverageAbandonCancelsStudy(t *testing.T) {
 	}
 	if d := mCacheMisses.Value() - miss0; d != 2 {
 		t.Errorf("cache misses = %d, want 2 (abandoned + retry)", d)
+	}
+}
+
+// TestCanceledFlightNotJoined pins the abandon/rejoin window: after the
+// last waiter abandons a flight (marking it canceled) but before run()
+// unregisters it, a new request with a live context must lead a fresh
+// computation rather than inherit the doomed flight's context.Canceled.
+func TestCanceledFlightNotJoined(t *testing.T) {
+	c := newResultCache(4)
+	base := context.Background()
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var calls atomic.Int32
+	compute := func(ctx context.Context) ([]byte, error) {
+		if calls.Add(1) == 1 {
+			close(started)
+			<-ctx.Done() // wait for the abandon to cancel us...
+			<-release    // ...then stall run() so the flight stays registered
+			return nil, ctx.Err()
+		}
+		return []byte("fresh"), nil
+	}
+
+	ctx1, cancel1 := context.WithCancel(base)
+	errCh := make(chan error, 1)
+	go func() {
+		_, _, err := c.Do(ctx1, base, "k", compute)
+		errCh <- err
+	}()
+	<-started
+	cancel1()
+	// Do returns after the abandon path marked the flight canceled; its
+	// run goroutine is still parked on release, so the stale flight is
+	// still in c.flights when the next request arrives.
+	if err := <-errCh; !errors.Is(err, context.Canceled) {
+		t.Fatalf("abandoning waiter got %v, want context.Canceled", err)
+	}
+
+	body, status, err := c.Do(context.Background(), base, "k", compute)
+	if err != nil {
+		t.Fatalf("rejoin after abandon: %v (joined the canceled flight?)", err)
+	}
+	if status != cacheMiss || string(body) != "fresh" {
+		t.Errorf("rejoin got status %q body %q, want a fresh miss", status, body)
+	}
+
+	// Unstall the stale flight's run(); its error must not be cached and
+	// its guarded cleanup must not disturb the successor's cached result.
+	close(release)
+	if _, status, _ := c.Do(context.Background(), base, "k", compute); status != cacheHit {
+		t.Errorf("follow-up status %q, want hit from the replacement flight", status)
+	}
+	if n := calls.Load(); n != 2 {
+		t.Errorf("computations = %d, want 2 (abandoned + replacement)", n)
 	}
 }
 

@@ -16,9 +16,10 @@ import (
 )
 
 // Request-size guards: a coverage study's cost is
-// replicates × population × len(SampleSizes), so each axis is bounded
-// before any work starts. Replicates are additionally bounded by the
-// operator-configurable Config.MaxReplicates.
+// replicates × population × len(SampleSizes) in CPU and population in
+// per-worker memory, so each axis is bounded before any work starts.
+// Replicates and population are additionally bounded by the
+// operator-configurable Config.MaxReplicates and Config.MaxPopulation.
 const (
 	maxPilotData   = 65536
 	maxSampleSizes = 32
@@ -46,6 +47,10 @@ func (s *Server) coverageConfig(req CoverageRequest) (sampling.CoverageConfig, C
 	switch {
 	case req.Replicates < 0 || req.Replicates > s.cfg.MaxReplicates:
 		return sampling.CoverageConfig{}, req, fmt.Errorf("replicates outside [1, %d]", s.cfg.MaxReplicates)
+	case req.Population < 0 || req.Population > s.cfg.MaxPopulation:
+		return sampling.CoverageConfig{}, req, fmt.Errorf("population outside [2, %d]", s.cfg.MaxPopulation)
+	case req.PilotSize < 0:
+		return sampling.CoverageConfig{}, req, fmt.Errorf("pilot_size must be positive, got %d", req.PilotSize)
 	case len(req.SampleSizes) > maxSampleSizes:
 		return sampling.CoverageConfig{}, req, fmt.Errorf("at most %d sample sizes per request", maxSampleSizes)
 	case len(req.Levels) > maxLevels:
@@ -78,8 +83,22 @@ func (s *Server) coverageConfig(req CoverageRequest) (sampling.CoverageConfig, C
 		if err != nil {
 			return sampling.CoverageConfig{}, req, err
 		}
+		// PilotSample silently returns the whole dataset when n exceeds
+		// it; served requests get a 400 instead, so the normalized
+		// request echoed in the response never records a pilot size the
+		// study didn't actually use.
+		if req.PilotSize > len(pilot) {
+			return sampling.CoverageConfig{}, req,
+				fmt.Errorf("pilot_size %d exceeds the %s dataset (%d measured nodes)", req.PilotSize, req.System, len(pilot))
+		}
 		if req.Population == 0 {
 			req.Population = spec.TotalNodes
+		}
+		// Preset populations resolve after the guard switch, so re-check
+		// the operator cap against the resolved value.
+		if req.Population > s.cfg.MaxPopulation {
+			return sampling.CoverageConfig{}, req,
+				fmt.Errorf("population outside [2, %d]", s.cfg.MaxPopulation)
 		}
 	}
 

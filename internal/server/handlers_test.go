@@ -109,6 +109,10 @@ func TestHandlerBadRequests(t *testing.T) {
 		{"coverage malformed json", "POST", "/v1/coverage", `[`, codeBadJSON},
 		{"coverage unknown system", "POST", "/v1/coverage", `{"system":"notasystem"}`, codeInvalidPlan},
 		{"coverage replicate cap", "POST", "/v1/coverage", `{"replicates": 99999999}`, codeInvalidPlan},
+		{"coverage population cap", "POST", "/v1/coverage", `{"pilot_data":[1,2],"population":2000000000,"replicates":1,"sample_sizes":[2],"levels":[0.5]}`, codeInvalidPlan},
+		{"coverage negative population", "POST", "/v1/coverage", `{"pilot_data":[1,2],"population":-5,"sample_sizes":[2]}`, codeInvalidPlan},
+		{"coverage negative pilot_size", "POST", "/v1/coverage", `{"pilot_size":-5}`, codeInvalidPlan},
+		{"coverage pilot_size over dataset", "POST", "/v1/coverage", `{"system":"lrz","pilot_size":1000}`, codeInvalidPlan},
 		{"coverage sample size over population", "POST", "/v1/coverage", `{"pilot_data":[100,101,99],"population":4,"sample_sizes":[5]}`, codeInvalidPlan},
 		{"coverage pilot without population", "POST", "/v1/coverage", `{"pilot_data":[100,101,99]}`, codeInvalidPlan},
 	}

@@ -67,6 +67,13 @@ type Config struct {
 	// bootstrap replicates than the operator allows. Default 200000 (the
 	// paper's scale).
 	MaxReplicates int
+	// MaxPopulation rejects /v1/coverage requests asking to simulate a
+	// machine larger than the operator allows. The study's cost is
+	// O(replicates × population) and every chunk worker allocates a
+	// population-sized buffer, so an unbounded population is an OOM
+	// vector even at replicates=1. Default 1000000 (~8 MB per worker,
+	// an order of magnitude above the largest Table 4 system).
+	MaxPopulation int
 	// CacheEntries caps the completed-result cache; the oldest entry is
 	// evicted first. Default 128.
 	CacheEntries int
@@ -112,6 +119,9 @@ func New(cfg Config) *Server {
 	}
 	if cfg.MaxReplicates <= 0 {
 		cfg.MaxReplicates = 200000
+	}
+	if cfg.MaxPopulation <= 0 {
+		cfg.MaxPopulation = 1000000
 	}
 	if cfg.CacheEntries <= 0 {
 		cfg.CacheEntries = 128
