@@ -1,0 +1,254 @@
+// Command benchgate turns `go test -bench` output into a committed
+// JSON baseline and gates performance regressions against it.
+//
+// Emit a baseline (BENCH_6.json extends the BENCH_*.json trajectory):
+//
+//	go test -run='^$' -bench=... -benchmem ./... | benchgate -emit BENCH_6.json
+//
+// Gate a run against the committed baseline, failing on >15% ns/op
+// regression of the key benches:
+//
+//	go test ... | benchgate -baseline BENCH_6.json -max-regress 0.15 \
+//	    -require Table4,Figure3,BootstrapReplicates,CoverageStudy
+//
+// It can also enforce a floor on improvement versus an older baseline
+// (locking in an optimization), via -min-speedup/-min-memratio with
+// -improve naming the benches. Baselines are either benchgate JSON or
+// raw `go test -bench` text (BENCH_4.json and earlier are raw text);
+// the format is auto-detected. When a benchmark appears several times
+// (-count>1), the minimum ns/op is kept, the standard noise filter.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+type result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+type baselineFile struct {
+	Note    string            `json:"note,omitempty"`
+	Benches map[string]result `json:"benches"`
+}
+
+func main() {
+	var (
+		currentPath = flag.String("current", "-", "bench output to evaluate (file, or - for stdin)")
+		emitPath    = flag.String("emit", "", "write the normalized JSON baseline here")
+		basePath    = flag.String("baseline", "", "baseline to gate against (benchgate JSON or raw bench text)")
+		maxRegress  = flag.Float64("max-regress", 0.15, "fail when ns/op grows by more than this fraction over the baseline")
+		require     = flag.String("require", "", "comma-separated bench name prefixes that must exist and stay within -max-regress")
+		minSpeedup  = flag.Float64("min-speedup", 0, "with -improve: fail unless baseline/current ns/op >= this ratio")
+		minMemRatio = flag.Float64("min-memratio", 0, "with -improve: fail unless baseline/current B/op >= this ratio")
+		improve     = flag.String("improve", "", "comma-separated bench name prefixes the speedup/memory floors apply to")
+		note        = flag.String("note", "", "free-form note stored in the emitted baseline")
+	)
+	flag.Parse()
+	if *emitPath == "" && *basePath == "" {
+		fatal("nothing to do: give -emit and/or -baseline")
+	}
+
+	current, err := load(*currentPath)
+	if err != nil {
+		fatal("reading current bench output: %v", err)
+	}
+	if len(current) == 0 {
+		fatal("no benchmark lines found in current output")
+	}
+
+	if *emitPath != "" {
+		out := baselineFile{Note: *note, Benches: current}
+		buf, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			fatal("%v", err)
+		}
+		if err := os.WriteFile(*emitPath, append(buf, '\n'), 0o644); err != nil {
+			fatal("writing %s: %v", *emitPath, err)
+		}
+		fmt.Printf("benchgate: wrote %d benches to %s\n", len(current), *emitPath)
+	}
+	if *basePath == "" {
+		return
+	}
+
+	base, err := load(*basePath)
+	if err != nil {
+		fatal("reading baseline %s: %v", *basePath, err)
+	}
+	failed := false
+	for _, name := range splitList(*require) {
+		matches := resolve(current, name)
+		if len(matches) == 0 {
+			fmt.Printf("FAIL %s: required bench missing from current run\n", name)
+			failed = true
+			continue
+		}
+		for _, full := range matches {
+			cur := current[full]
+			b, ok := base[full]
+			if !ok {
+				fmt.Printf("ok   %s: %.0f ns/op (new, no baseline entry)\n", full, cur.NsPerOp)
+				continue
+			}
+			ratio := cur.NsPerOp/b.NsPerOp - 1
+			if ratio > *maxRegress {
+				fmt.Printf("FAIL %s: %.0f ns/op vs baseline %.0f (+%.1f%% > %.0f%% allowed)\n",
+					full, cur.NsPerOp, b.NsPerOp, 100*ratio, 100**maxRegress)
+				failed = true
+			} else {
+				fmt.Printf("ok   %s: %.0f ns/op vs baseline %.0f (%+.1f%%)\n",
+					full, cur.NsPerOp, b.NsPerOp, 100*ratio)
+			}
+		}
+	}
+	for _, name := range splitList(*improve) {
+		matches := resolve(current, name)
+		if len(matches) == 0 {
+			fmt.Printf("FAIL %s: improvement-gated bench missing from current run\n", name)
+			failed = true
+			continue
+		}
+		for _, full := range matches {
+			cur, b, ok := current[full], base[full], true
+			if _, ok = base[full]; !ok {
+				fmt.Printf("FAIL %s: missing from baseline %s\n", full, *basePath)
+				failed = true
+				continue
+			}
+			if *minSpeedup > 0 {
+				s := b.NsPerOp / cur.NsPerOp
+				if s < *minSpeedup {
+					fmt.Printf("FAIL %s: speedup %.2fx < required %.1fx (%.0f -> %.0f ns/op)\n",
+						full, s, *minSpeedup, b.NsPerOp, cur.NsPerOp)
+					failed = true
+				} else {
+					fmt.Printf("ok   %s: speedup %.2fx (>= %.1fx)\n", full, s, *minSpeedup)
+				}
+			}
+			if *minMemRatio > 0 && cur.BytesPerOp > 0 {
+				m := b.BytesPerOp / cur.BytesPerOp
+				if m < *minMemRatio {
+					fmt.Printf("FAIL %s: B/op only %.2fx lower, need %.1fx (%.0f -> %.0f B/op)\n",
+						full, m, *minMemRatio, b.BytesPerOp, cur.BytesPerOp)
+					failed = true
+				} else {
+					fmt.Printf("ok   %s: B/op %.2fx lower (>= %.1fx)\n", full, m, *minMemRatio)
+				}
+			}
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchgate: "+format+"\n", args...)
+	os.Exit(2)
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// resolve expands a short name ("Figure3", "CoverageStudy") to the full
+// benchmark names it prefixes, sorted for stable output.
+func resolve(set map[string]result, name string) []string {
+	want := name
+	if !strings.HasPrefix(want, "Benchmark") {
+		want = "Benchmark" + want
+	}
+	var out []string
+	for full := range set {
+		if strings.HasPrefix(full, want) {
+			out = append(out, full)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// load reads a benchgate JSON baseline or raw `go test -bench` text,
+// auto-detected by the leading byte.
+func load(path string) (map[string]result, error) {
+	var data []byte
+	var err error
+	if path == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return nil, err
+	}
+	trimmed := strings.TrimSpace(string(data))
+	if strings.HasPrefix(trimmed, "{") {
+		var f baselineFile
+		if err := json.Unmarshal(data, &f); err != nil {
+			return nil, err
+		}
+		return f.Benches, nil
+	}
+	return parseBenchText(trimmed), nil
+}
+
+// parseBenchText extracts benchmark result lines from go test output,
+// ignoring everything else (log output, PASS lines, table dumps). A
+// GOMAXPROCS suffix (BenchmarkFoo-8) is stripped so baselines written
+// on different machines name the same benchmarks. Repeated entries keep
+// the minimum ns/op.
+func parseBenchText(text string) map[string]result {
+	out := make(map[string]result)
+	for _, line := range strings.Split(text, "\n") {
+		f := strings.Fields(line)
+		if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+			continue
+		}
+		name := f[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		var res result
+		seenNs := false
+		for j := 2; j+1 < len(f); j++ {
+			v, err := strconv.ParseFloat(f[j], 64)
+			if err != nil {
+				continue
+			}
+			switch f[j+1] {
+			case "ns/op":
+				res.NsPerOp = v
+				seenNs = true
+			case "B/op":
+				res.BytesPerOp = v
+			case "allocs/op":
+				res.AllocsPerOp = v
+			}
+		}
+		if !seenNs {
+			continue
+		}
+		if prev, ok := out[name]; !ok || res.NsPerOp < prev.NsPerOp {
+			out[name] = res
+		}
+	}
+	return out
+}

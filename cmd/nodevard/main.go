@@ -44,7 +44,7 @@ func realMain() int {
 		reqTimeout    = flag.Duration("request-timeout", 60*time.Second, "per-request budget; 0 disables")
 		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "grace for in-flight requests after a shutdown signal")
 		maxReplicates = flag.Int("max-replicates", 200000, "largest /v1/coverage replicate count accepted")
-		maxPopulation = flag.Int("max-population", 1000000, "largest /v1/coverage simulated machine size accepted")
+		maxPopulation = flag.Int("max-population", 1_000_000_000, "sanity cap on the /v1/coverage simulated machine size (the count-based study never materializes it)")
 		cacheEntries  = flag.Int("cache-entries", 128, "completed coverage results kept in memory")
 		manifestDir   = flag.String("manifest-dir", "", "write one manifest-v3 run record per computed coverage study here")
 		obsFlags      = cli.RegisterObsFlags()

@@ -12,6 +12,7 @@ package rng
 import (
 	"math"
 	"math/bits"
+	"sync"
 )
 
 // splitMix64 advances a SplitMix64 state and returns the next output.
@@ -178,42 +179,96 @@ func (r *Rand) Shuffle(n int, swap func(i, j int)) {
 }
 
 // SampleWithoutReplacement returns k distinct indices drawn uniformly from
-// [0, n). It panics if k > n or either argument is negative.
-//
-// For k much smaller than n it uses rejection from a set; otherwise it uses
-// a partial Fisher-Yates shuffle. The returned order is random.
+// [0, n). It panics if k > n or either argument is negative. The returned
+// order is random. It allocates only the result slice; callers that own a
+// buffer should use SampleWithoutReplacementInto.
 func (r *Rand) SampleWithoutReplacement(n, k int) []int {
-	if k < 0 || n < 0 {
+	if k < 0 {
+		panic("rng: negative argument to SampleWithoutReplacement")
+	}
+	out := make([]int, k)
+	r.SampleWithoutReplacementInto(n, out)
+	return out
+}
+
+// smallSampleCutoff bounds the duplicate linear scan in the sparse
+// rejection path: up to this many draws the scan stays cheaper and more
+// cache-friendly than maintaining a bitset.
+const smallSampleCutoff = 128
+
+// bitsetPool recycles the word slices behind the mid-size rejection
+// path, so steady-state sampling performs no heap allocation. It holds
+// *[]uint64 so that Put does not box a slice header on every call.
+var bitsetPool = sync.Pool{New: func() any { return new([]uint64) }}
+
+// SampleWithoutReplacementInto fills dst with len(dst) distinct indices
+// drawn uniformly from [0, n), in random order. It panics if n is
+// negative or len(dst) > n.
+//
+// For sparse draws (k·8 < n) it uses rejection with a duplicate linear
+// scan over dst for small k and a pooled bitset otherwise — both paths
+// allocation-free in steady state, replacing the per-call map the sparse
+// path once built. Dense draws fall back to a partial Fisher-Yates over
+// a scratch permutation, which allocates O(n) and is the right tool only
+// when most of the population is sampled anyway.
+func (r *Rand) SampleWithoutReplacementInto(n int, dst []int) {
+	k := len(dst)
+	if n < 0 {
 		panic("rng: negative argument to SampleWithoutReplacement")
 	}
 	if k > n {
 		panic("rng: sample size exceeds population in SampleWithoutReplacement")
 	}
 	if k == 0 {
-		return []int{}
+		return
 	}
-	if k*8 < n {
-		seen := make(map[int]struct{}, k)
-		out := make([]int, 0, k)
-		for len(out) < k {
-			v := r.Intn(n)
-			if _, dup := seen[v]; dup {
-				continue
-			}
-			seen[v] = struct{}{}
-			out = append(out, v)
+	switch {
+	case k*8 >= n:
+		p := make([]int, n)
+		for i := range p {
+			p[i] = i
 		}
-		return out
+		for i := 0; i < k; i++ {
+			j := i + r.Intn(n-i)
+			p[i], p[j] = p[j], p[i]
+		}
+		copy(dst, p[:k])
+	case k <= smallSampleCutoff:
+		for i := 0; i < k; {
+			v := r.Intn(n)
+			dup := false
+			for _, prev := range dst[:i] {
+				if prev == v {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				dst[i] = v
+				i++
+			}
+		}
+	default:
+		wp := bitsetPool.Get().(*[]uint64)
+		need := (n + 63) / 64
+		if cap(*wp) < need {
+			*wp = make([]uint64, need)
+		}
+		words := (*wp)[:need]
+		for i := range words {
+			words[i] = 0
+		}
+		for i := 0; i < k; {
+			v := r.Intn(n)
+			w, bit := v>>6, uint64(1)<<(uint(v)&63)
+			if words[w]&bit == 0 {
+				words[w] |= bit
+				dst[i] = v
+				i++
+			}
+		}
+		bitsetPool.Put(wp)
 	}
-	p := make([]int, n)
-	for i := range p {
-		p[i] = i
-	}
-	for i := 0; i < k; i++ {
-		j := i + r.Intn(n-i)
-		p[i], p[j] = p[j], p[i]
-	}
-	return p[:k]
 }
 
 // Bernoulli returns true with the given probability p (clamped to [0, 1]).

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -31,8 +32,11 @@ var (
 )
 
 // coverageKind stamps coverage-study checkpoints; bump if the chunk
-// decomposition or the meaning of the accumulators ever changes.
-const coverageKind = "sampling/coverage-study/v1"
+// decomposition, the per-replicate RNG stream, or the meaning of the
+// accumulators ever changes. v2 is the count-based replicate loop: the
+// streams differ from v1, so a stale v1 checkpoint must fail fast with
+// checkpoint.ErrMismatch rather than resume into a different stream.
+const coverageKind = "sampling/coverage-study/v2"
 
 // CoverageConfig describes a Figure-3 style bootstrap calibration study.
 type CoverageConfig struct {
@@ -165,6 +169,17 @@ type coverageProgress struct {
 	Done   []chunkResult `json:"done"`
 }
 
+// coverScratch is one chunk worker's working set for the count-based
+// replicate loop: the multinomial cell counts for the unsampled rest of
+// the machine and the subset value prefix. Pooled across chunks so the
+// steady-state replicate loop performs no heap allocation.
+type coverScratch struct {
+	counts []int
+	vals   []float64
+}
+
+var coverScratchPool = sync.Pool{New: func() any { return new(coverScratch) }}
+
 // CoverageStudy runs the paper's four-step bootstrap procedure
 // (Section 4.2) for every configured sample size and level:
 //
@@ -174,12 +189,19 @@ type coverageProgress struct {
 //  3. form the t-based interval of Equation 1,
 //  4. check whether it covers the simulated machine's true mean.
 //
-// One simulated machine per replicate serves every configured sample
-// size: generating the Population-node machine dominates the cost, and a
-// without-replacement subset drawn from the (permuted) machine is
-// uniform for each size regardless of earlier draws, so sharing it
-// changes nothing statistically while dividing the dominant work by
-// len(SampleSizes).
+// The machine is never materialized. A resampled machine is Population
+// iid uniform picks from the pilot, so its node-count histogram over the
+// len(Pilot) distinct pilot values is a multinomial draw, and the true
+// mean is the count-weighted pilot mean — O(pilot) per replicate instead
+// of O(Population). The without-replacement subsets ride on
+// exchangeability: the values at any n distinct machine positions are
+// themselves n iid pilot picks, so one replicate draws the largest
+// subset prefix directly (each smaller size is a prefix of it, uniform
+// for every size), then draws the remaining Population-n_max nodes in
+// count form for the true mean. Per-replicate cost is
+// O(pilot + max(SampleSizes)) with no Population-sized buffers, and the
+// recorded statistics are distributed identically to the materialized
+// formulation (DESIGN.md derives the equivalence).
 //
 // Replicates are distributed over deterministic RNG chunks and run in
 // parallel; results are bit-identical for a fixed (Seed, Chunks) pair
@@ -265,6 +287,30 @@ func CoverageStudyCtx(ctx context.Context, cfg CoverageConfig) ([]CoveragePoint,
 		}
 	}
 
+	// Sample sizes are processed in ascending order inside a replicate so
+	// each size extends the previous one's value prefix; results land at
+	// the caller's original index. Pilot values are centered once: the
+	// subset and true-mean sums then run over deviations, which keeps the
+	// count-weighted variance free of catastrophic cancellation.
+	order := make([]int, nSizes)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return cfg.SampleSizes[order[a]] < cfg.SampleSizes[order[b]]
+	})
+	nmax := cfg.SampleSizes[order[nSizes-1]]
+	nPilot := len(cfg.Pilot)
+	pilotSum := 0.0
+	for _, v := range cfg.Pilot {
+		pilotSum += v
+	}
+	pilotMean := pilotSum / float64(nPilot)
+	cpilot := make([]float64, nPilot)
+	for k, v := range cfg.Pilot {
+		cpilot[k] = v - pilotMean
+	}
+
 	var (
 		mu        sync.Mutex
 		doneCount int
@@ -311,33 +357,57 @@ func CoverageStudyCtx(ctx context.Context, cfg CoverageConfig) ([]CoveragePoint,
 		ci := todoCi[ti]
 		tChunk := time.Now()
 		stream := streams[ci]
-		machine := make([]float64, cfg.Population)
+		sc := coverScratchPool.Get().(*coverScratch)
+		if cap(sc.counts) < nPilot {
+			sc.counts = make([]int, nPilot)
+		}
+		if cap(sc.vals) < nmax {
+			sc.vals = make([]float64, nmax)
+		}
+		counts := sc.counts[:nPilot]
+		vals := sc.vals[:nmax]
 		localHits := make([]int64, nSizes*nLevels)
 		localWidth := make([]float64, nSizes*nLevels)
+		rest := cfg.Population - nmax
 		for rep := r.Lo; rep < r.Hi; rep++ {
-			// Step 1: bootstrap machine and its true mean.
-			var sum float64
-			for i := range machine {
-				v := cfg.Pilot[stream.Intn(len(cfg.Pilot))]
-				machine[i] = v
-				sum += v
+			// Steps 1-2, count form. The n_max machine positions every
+			// subset will touch are drawn first, as iid pilot picks (the
+			// subsets are prefixes of this sequence); the remaining
+			// Population-n_max nodes exist only as a multinomial count
+			// vector, whose dot with the centered pilot completes the
+			// simulated machine's true mean.
+			prefixSum := 0.0
+			for i := range vals {
+				v := cpilot[stream.Intn(nPilot)]
+				vals[i] = v
+				prefixSum += v
 			}
-			trueMean := sum / float64(cfg.Population)
-			for ni, n := range cfg.SampleSizes {
-				// Step 2: subset of n without replacement (partial
-				// Fisher-Yates; swaps permute the machine in place, which
-				// keeps later draws uniform over the same multiset).
-				var acc stats.Accumulator
-				for i := 0; i < n; i++ {
-					j := i + stream.Intn(cfg.Population-i)
-					machine[i], machine[j] = machine[j], machine[i]
-					acc.Add(machine[i])
+			stream.MultinomialEqual(rest, counts)
+			restSum := 0.0
+			for k, c := range counts {
+				restSum += float64(c) * cpilot[k]
+			}
+			trueMean := pilotMean + (prefixSum+restSum)/float64(cfg.Population)
+			// Steps 3-4 per size (ascending, so each size extends the
+			// previous prefix's running sums) and per level: interval hit
+			// and the level's own relative half-width (wider levels have
+			// wider intervals, so widths are tracked per level).
+			sum, sumsq := 0.0, 0.0
+			drawn := 0
+			for _, ni := range order {
+				n := cfg.SampleSizes[ni]
+				for ; drawn < n; drawn++ {
+					v := vals[drawn]
+					sum += v
+					sumsq += v * v
 				}
-				mean := acc.Mean()
-				se := acc.StdDev() / math.Sqrt(float64(n))
-				// Steps 3-4 for every level: interval hit and the level's
-				// own relative half-width (wider levels have wider
-				// intervals, so widths are tracked per level).
+				fn := float64(n)
+				mean := pilotMean + sum/fn
+				variance := (sumsq - sum*sum/fn) / (fn - 1)
+				if variance < 0 {
+					variance = 0
+				}
+				se := math.Sqrt(variance / fn)
 				for li, cv := range crit[ni] {
 					half := cv * se
 					if mean-half <= trueMean && trueMean <= mean+half {
@@ -349,6 +419,7 @@ func CoverageStudyCtx(ctx context.Context, cfg CoverageConfig) ([]CoveragePoint,
 				}
 			}
 		}
+		coverScratchPool.Put(sc)
 		mu.Lock()
 		results[ci] = &chunkResult{Ci: ci, Lo: r.Lo, Hi: r.Hi, Hits: localHits, Widths: localWidth}
 		doneCount++

@@ -49,7 +49,7 @@ func TestCoverageStudyCtxCanceledReturnsPartial(t *testing.T) {
 			Ci int `json:"ci"`
 		} `json:"done"`
 	}
-	if err := checkpoint.Load(cfg.Checkpoint, "sampling/coverage-study/v1", cfg.Seed, cfg.Fingerprint(), &prog); err != nil {
+	if err := checkpoint.Load(cfg.Checkpoint, "sampling/coverage-study/v2", cfg.Seed, cfg.Fingerprint(), &prog); err != nil {
 		t.Fatalf("flushed checkpoint does not load: %v", err)
 	}
 	if prog.Chunks != 16 || len(prog.Done) == 0 || len(prog.Done) >= 16 {

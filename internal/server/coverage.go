@@ -16,10 +16,12 @@ import (
 )
 
 // Request-size guards: a coverage study's cost is
-// replicates × population × len(SampleSizes) in CPU and population in
-// per-worker memory, so each axis is bounded before any work starts.
-// Replicates and population are additionally bounded by the
-// operator-configurable Config.MaxReplicates and Config.MaxPopulation.
+// replicates × (pilot + largest sample size) in CPU — the count-based
+// replicate loop never materializes the population — so the axes that
+// still buy work (pilot size, sample sizes, levels) are bounded before
+// any work starts. Replicates are additionally bounded by the
+// operator-configurable Config.MaxReplicates; Config.MaxPopulation
+// survives only as a sanity bound on nonsensical requests.
 const (
 	maxPilotData   = 65536
 	maxSampleSizes = 32

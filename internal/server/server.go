@@ -68,11 +68,11 @@ type Config struct {
 	// paper's scale).
 	MaxReplicates int
 	// MaxPopulation rejects /v1/coverage requests asking to simulate a
-	// machine larger than the operator allows. The study's cost is
-	// O(replicates × population) and every chunk worker allocates a
-	// population-sized buffer, so an unbounded population is an OOM
-	// vector even at replicates=1. Default 1000000 (~8 MB per worker,
-	// an order of magnitude above the largest Table 4 system).
+	// machine larger than the operator allows. Since the count-based
+	// replicate loop, population no longer buys memory or meaningful CPU
+	// (per-replicate cost is O(pilot + max sample size) with no
+	// population-sized buffers), so this is a cheap sanity bound on
+	// nonsensical requests, not an OOM defense. Default 1e9.
 	MaxPopulation int
 	// CacheEntries caps the completed-result cache; the oldest entry is
 	// evicted first. Default 128.
@@ -121,7 +121,7 @@ func New(cfg Config) *Server {
 		cfg.MaxReplicates = 200000
 	}
 	if cfg.MaxPopulation <= 0 {
-		cfg.MaxPopulation = 1000000
+		cfg.MaxPopulation = 1_000_000_000
 	}
 	if cfg.CacheEntries <= 0 {
 		cfg.CacheEntries = 128

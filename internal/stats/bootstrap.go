@@ -4,9 +4,26 @@ import (
 	"context"
 	"errors"
 	"sort"
+	"sync"
 
 	"nodevar/internal/rng"
 )
+
+// bootBufPool recycles the resample and replicate buffers of the
+// bootstrap entry points, so repeated calls (the server's coverage and
+// prediction paths call them per request) reach a zero-allocation
+// steady state. It holds *[]float64 so Put does not box a slice header.
+var bootBufPool = sync.Pool{New: func() any { return new([]float64) }}
+
+// getBootBuf returns a pooled buffer of length n.
+func getBootBuf(n int) *[]float64 {
+	bp := bootBufPool.Get().(*[]float64)
+	if cap(*bp) < n {
+		*bp = make([]float64, n)
+	}
+	*bp = (*bp)[:n]
+	return bp
+}
 
 // BootstrapCI computes a percentile-bootstrap confidence interval for an
 // arbitrary statistic of the sample xs: B resampled datasets are drawn
@@ -43,31 +60,41 @@ func BootstrapCICtx(ctx context.Context, xs []float64, stat func([]float64) floa
 	}
 	r := rng.New(seed)
 	center := stat(xs)
-	replicates := make([]float64, 0, b)
-	resample := make([]float64, len(xs))
+	rp := getBootBuf(b)
+	replicates := (*rp)[:0]
+	sp := getBootBuf(len(xs))
+	resample := *sp
 	var ctxErr error
 	for i := 0; i < b; i++ {
 		if i%bootstrapCheckEvery == 0 && ctx.Err() != nil {
 			ctxErr = ctx.Err()
 			break
 		}
-		for j := range resample {
-			resample[j] = xs[r.Intn(len(xs))]
-		}
+		r.ResampleFloat64s(resample, xs)
 		replicates = append(replicates, stat(resample))
 	}
+	bootBufPool.Put(sp)
 	if ctxErr != nil && len(replicates) < 100 {
+		bootBufPool.Put(rp)
 		return Interval{}, ctxErr
 	}
 	sort.Float64s(replicates)
 	alpha := 1 - confidence
 	lo := QuantileSorted(replicates, alpha/2)
 	hi := QuantileSorted(replicates, 1-alpha/2)
+	bootBufPool.Put(rp)
 	// Express as a center ± half-width interval around the point
-	// estimate; keep the asymmetric endpoints by widening to cover both.
+	// estimate; the point estimate can fall outside the replicate
+	// quantile range for skewed statistics (e.g. a sample minimum, whose
+	// replicates never exceed it), so hi-center alone can be negative:
+	// widen to cover both endpoints and clamp so the half-width is never
+	// negative.
 	half := hi - center
 	if d := center - lo; d > half {
 		half = d
+	}
+	if half < 0 {
+		half = 0
 	}
 	return Interval{Center: center, HalfWidth: half, Confidence: confidence}, ctxErr
 }
@@ -83,12 +110,12 @@ func BootstrapSE(xs []float64, stat func([]float64) float64, b int, seed uint64)
 	}
 	r := rng.New(seed)
 	var acc Accumulator
-	resample := make([]float64, len(xs))
+	sp := getBootBuf(len(xs))
+	resample := *sp
 	for i := 0; i < b; i++ {
-		for j := range resample {
-			resample[j] = xs[r.Intn(len(xs))]
-		}
+		r.ResampleFloat64s(resample, xs)
 		acc.Add(stat(resample))
 	}
+	bootBufPool.Put(sp)
 	return acc.StdDev(), nil
 }

@@ -89,6 +89,71 @@ func TestBootstrapSE(t *testing.T) {
 	}
 }
 
+func TestBootstrapCIHalfWidthNeverNegative(t *testing.T) {
+	// A sample-maximum statistic is maximally skewed: no bootstrap
+	// replicate can exceed the observed maximum, so the point estimate
+	// sits at or above the entire replicate quantile range and
+	// hi-center alone is negative. The interval must still be widened
+	// to cover the low quantile and never report a negative half-width.
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 50}
+	maxStat := func(v []float64) float64 {
+		m := v[0]
+		for _, x := range v[1:] {
+			if x > m {
+				m = x
+			}
+		}
+		return m
+	}
+	ci, err := BootstrapCI(xs, maxStat, 2000, 0.95, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ci.Center != 50 {
+		t.Fatalf("center = %v, want 50", ci.Center)
+	}
+	if ci.HalfWidth < 0 {
+		t.Fatalf("negative half-width %v", ci.HalfWidth)
+	}
+	// With 9 observations a resample misses the maximum ~35% of the
+	// time, so the 2.5% replicate quantile is well below the center and
+	// the widened interval must reach down to it.
+	if ci.HalfWidth < 40 {
+		t.Errorf("half-width %v does not cover the low replicate quantile", ci.HalfWidth)
+	}
+	// A constant statistic collapses the replicates onto the center:
+	// the half-width must be exactly zero, not a small negative residue.
+	ci, err = BootstrapCI(xs, func([]float64) float64 { return 7 }, 500, 0.95, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ci.HalfWidth != 0 {
+		t.Errorf("constant statistic half-width = %v, want 0", ci.HalfWidth)
+	}
+}
+
+func TestBootstrapBuffersPooled(t *testing.T) {
+	xs := make([]float64, 64)
+	r := rng.New(2)
+	for i := range xs {
+		xs[i] = r.Normal(100, 5)
+	}
+	// Warm the pool, then check the steady state stays allocation-light
+	// (the pooled resample and replicate buffers are the point; the few
+	// remaining allocations are interface boxing in sort and the rng).
+	if _, err := BootstrapCI(xs, Mean, 500, 0.95, 1); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := BootstrapCI(xs, Mean, 500, 0.95, 1); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 4 {
+		t.Errorf("BootstrapCI steady state allocates %v objects/op, want <= 4", allocs)
+	}
+}
+
 func TestBootstrapDeterministicInSeed(t *testing.T) {
 	xs := []float64{5, 7, 9, 4, 6, 8, 5, 7}
 	a, err := BootstrapCI(xs, Mean, 500, 0.95, 42)
