@@ -5,7 +5,7 @@ COVER_FLOOR ?= 80
 CHAOS_SEEDS ?= 8
 CHAOS_FAULTS ?= drop=0.02,stuck=0.01,glitch=0.01,jitter=0.1,meterdrop=0.05,nodedrop=0.15
 
-.PHONY: build test vet race race-obs check bench trace repro fuzz-smoke cover-check chaos interrupt vuln serve loadcheck
+.PHONY: build test vet race race-obs check bench trace repro fuzz-smoke cover-check chaos interrupt vuln serve loadcheck obs-serve-check
 
 build:
 	$(GO) build ./...
@@ -119,3 +119,13 @@ serve:
 # with 429; all served bodies must be byte-identical.
 loadcheck:
 	$(GO) test -race -count=1 -run TestServerLoad ./internal/server
+
+# The observability gate: the obs and server suites under the race
+# detector (alloc gates self-skip there), then the zero-alloc assertions
+# and the disabled-path/resolved-vec benchmarks without it — the serving
+# hot path must stay allocation-free when tracing is off and handles are
+# resolved.
+obs-serve-check:
+	$(GO) test -race -count=1 ./internal/obs/... ./internal/server/...
+	$(GO) test -count=1 -run 'AllocFree|IsAllocFree' ./internal/obs
+	$(GO) test -count=1 -run='^$$' -bench='BenchmarkDisabledSpan$$|BenchmarkDisabledCtxSpan$$|BenchmarkCounterVecResolvedInc$$' -benchtime=100x -benchmem ./internal/obs

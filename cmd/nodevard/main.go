@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"nodevar/internal/cli"
+	"nodevar/internal/obs"
 	"nodevar/internal/server"
 )
 
@@ -47,6 +48,10 @@ func realMain() int {
 		maxPopulation = flag.Int("max-population", 1_000_000_000, "sanity cap on the /v1/coverage simulated machine size (the count-based study never materializes it)")
 		cacheEntries  = flag.Int("cache-entries", 128, "completed coverage results kept in memory")
 		manifestDir   = flag.String("manifest-dir", "", "write one manifest-v3 run record per computed coverage study here")
+		traceRing     = flag.Int("trace-ring", 256, "recent request traces retained for GET /v1/trace/{id}; 0 disables request tracing")
+		runtimeSample = flag.Duration("runtime-sample", 10*time.Second, "background runtime gauge sampling interval; 0 samples only on /metrics scrapes")
+		sloObjective  = flag.Float64("slo-objective", 0.99, "per-endpoint SLO success-fraction objective behind the error-budget readiness check")
+		accessLogs    = flag.Bool("access-log", true, "emit one structured log line per API request")
 		obsFlags      = cli.RegisterObsFlags()
 		execFlags     = cli.RegisterExecFlags()
 	)
@@ -66,13 +71,20 @@ func realMain() int {
 	run.SetConfig("request_timeout", reqTimeout.String())
 	run.SetConfig("max_replicates", *maxReplicates)
 	run.SetConfig("max_population", *maxPopulation)
+	run.SetConfig("trace_ring", *traceRing)
+	run.SetConfig("slo_objective", *sloObjective)
+
+	if *runtimeSample > 0 {
+		stopSampler := obs.StartRuntimeSampler(*runtimeSample)
+		defer stopSampler()
+	}
 
 	// The server's lifecycle context outlives the signal context: drain
 	// first (in-flight coverage studies finish and get cached), cancel
 	// whatever is left only if the grace period runs out.
 	baseCtx, baseCancel := context.WithCancel(context.Background())
 	defer baseCancel()
-	srv := server.New(server.Config{
+	cfg := server.Config{
 		MaxConcurrent:  *maxConc,
 		RequestTimeout: *reqTimeout,
 		MaxReplicates:  *maxReplicates,
@@ -81,7 +93,16 @@ func realMain() int {
 		ManifestDir:    *manifestDir,
 		BaseContext:    baseCtx,
 		Log:            run.Log,
-	})
+		TraceCapacity:  *traceRing,
+		DisableTracing: *traceRing <= 0,
+		SLOObjective:   *sloObjective,
+	}
+	if *accessLogs {
+		// Access logs share the run logger, so -log-format json yields
+		// machine-parseable JSON lines with trace ID and cache outcome.
+		cfg.AccessLog = run.Log
+	}
+	srv := server.New(cfg)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -105,6 +126,7 @@ func realMain() int {
 	}
 
 	run.Log.Info("draining", "grace", drainTimeout.String())
+	srv.BeginDrain() // readiness flips to draining before the listener closes
 	sctx, scancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer scancel()
 	if derr := hs.Shutdown(sctx); derr != nil {

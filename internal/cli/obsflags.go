@@ -121,6 +121,7 @@ func (o *ObsFlags) Start(cmd string) (*Run, error) {
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		mux.Handle("/debug/vars", expvar.Handler())
+		mux.Handle("/metrics", obs.PromHandler())
 		srv := &http.Server{Addr: o.PprofAddr, Handler: mux}
 		go func() {
 			logger.Info("pprof/expvar server listening", "addr", o.PprofAddr)

@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"context"
+	"testing"
+)
+
+// The off-path cost gates: with tracing disabled and metric handles
+// resolved, the instrumentation the serving hot path executes per
+// request must not allocate. AllocsPerRun is skipped under the race
+// detector, whose instrumentation allocates; `make obs-serve-check` runs
+// both configurations.
+
+func requireZeroAllocs(t *testing.T, name string, f func()) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("alloc gates are meaningless under the race detector")
+	}
+	if got := testing.AllocsPerRun(200, f); got != 0 {
+		t.Errorf("%s: %v allocs/op, want 0", name, got)
+	}
+}
+
+func TestDisabledCtxSpanIsAllocFree(t *testing.T) {
+	SetTracer(nil)
+	ctx := context.Background()
+	requireZeroAllocs(t, "StartSpanCtx disabled", func() {
+		sp, _ := StartSpanCtx(ctx, "cat", "name")
+		sp.Attr("k", "v")
+		sp.End()
+	})
+}
+
+func TestEventCtxWithoutSpanIsAllocFree(t *testing.T) {
+	ctx := context.Background()
+	requireZeroAllocs(t, "EventCtx without span", func() {
+		EventCtx(ctx, "cache", "hit")
+	})
+}
+
+func TestResolvedVecCounterIncIsAllocFree(t *testing.T) {
+	r := NewRegistry()
+	c := r.CounterVec("alloc.test.requests", "endpoint", "status").With("coverage", "2xx")
+	requireZeroAllocs(t, "resolved CounterVec child Inc", func() {
+		c.Inc()
+	})
+}
+
+func TestResolvedVecHistogramObserveIsAllocFree(t *testing.T) {
+	r := NewRegistry()
+	h := r.HistogramVec("alloc.test.seconds", []float64{0.01, 0.1, 1}, "endpoint").With("coverage")
+	requireZeroAllocs(t, "resolved HistogramVec child Observe", func() {
+		h.Observe(0.05)
+	})
+}
+
+func TestGaugeAddIsAllocFree(t *testing.T) {
+	var g Gauge
+	requireZeroAllocs(t, "Gauge.Add", func() {
+		g.Add(1)
+		g.Sub(1)
+	})
+}
+
+func TestSLOObserveIsAllocFree(t *testing.T) {
+	s := NewSLO("alloc-test", 0.1, 0.99)
+	requireZeroAllocs(t, "SLO.Observe", func() {
+		s.Observe(0.01, true)
+	})
+}

@@ -1,6 +1,9 @@
 package obs
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 // BenchmarkDisabledSpan is the nil-tracer fast path every
 // instrumentation site takes when tracing is off. The acceptance bar is
@@ -43,6 +46,57 @@ func BenchmarkCounterIncParallel(b *testing.B) {
 			c.Inc()
 		}
 	})
+}
+
+// BenchmarkDisabledCtxSpan is the context-propagated fast path with
+// tracing fully off: no span in the context, no process tracer. The
+// acceptance bar is 0 B/op, 0 allocs/op.
+func BenchmarkDisabledCtxSpan(b *testing.B) {
+	SetTracer(nil)
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp, _ := StartSpanCtx(ctx, "server", "bench")
+		sp.Attr("seed", "2015")
+		sp.End()
+	}
+}
+
+// BenchmarkEnabledCtxSpan is the per-span cost inside a traced request
+// (the buffer fills to its cap, after which spans pay the bounded
+// drop-count path — the steady-state worst case).
+func BenchmarkEnabledCtxSpan(b *testing.B) {
+	buf := newTraceBuffer(NewTraceID(), DefaultSpansPerTrace)
+	root := buf.Root("request", "bench", SpanID{})
+	ctx := ContextWithSpan(context.Background(), root)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp, _ := StartSpanCtx(ctx, "server", "bench")
+		sp.End()
+	}
+}
+
+// BenchmarkCounterVecResolvedInc is the labelled-counter hot path once
+// the handle is resolved: one atomic add, no lock, no allocation.
+func BenchmarkCounterVecResolvedInc(b *testing.B) {
+	r := NewRegistry()
+	c := r.CounterVec("bench.requests", "endpoint", "status").With("coverage", "2xx")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+// BenchmarkCounterVecWithHit is the unresolved path: one atomic pointer
+// load plus a map lookup per increment.
+func BenchmarkCounterVecWithHit(b *testing.B) {
+	r := NewRegistry()
+	v := r.CounterVec("bench.with", "endpoint")
+	v.With("coverage").Inc()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v.With("coverage").Inc()
+	}
 }
 
 func BenchmarkHistogramObserve(b *testing.B) {

@@ -34,6 +34,21 @@ type Gauge struct {
 // Set stores v.
 func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
 
+// Add atomically adds delta to the gauge via compare-and-swap, so
+// concurrent Add/Sub pairs can never publish a stale value the way a
+// read-modify-write Set race could.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+delta)) {
+			return
+		}
+	}
+}
+
+// Sub atomically subtracts delta from the gauge.
+func (g *Gauge) Sub(delta float64) { g.Add(-delta) }
+
 // Value returns the last stored value (0 if never set).
 func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
@@ -99,6 +114,39 @@ type HistogramSnapshot struct {
 	Sum    float64   `json:"sum"`
 }
 
+// Snapshot returns a point-in-time copy of the histogram. Each bucket
+// read is atomic; the snapshot as a whole is near-simultaneous.
+func (h *Histogram) Snapshot() HistogramSnapshot { return h.snapshot() }
+
+// Quantile estimates the q-quantile (0 < q < 1) from the snapshot's
+// buckets by linear interpolation inside the containing bucket (from 0
+// below the first bound). Observations in the overflow bucket clamp to
+// the last bound. With no observations it returns NaN.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || !(q > 0 && q < 1) {
+		return math.NaN()
+	}
+	target := q * float64(s.Count)
+	var cum int64
+	for i, c := range s.Counts {
+		prev := float64(cum)
+		cum += c
+		if float64(cum) < target || c == 0 {
+			continue
+		}
+		if i >= len(s.Bounds) {
+			return s.Bounds[len(s.Bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = s.Bounds[i-1]
+		}
+		hi := s.Bounds[i]
+		return lo + (hi-lo)*(target-prev)/float64(c)
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
 // snapshot copies the histogram state.
 func (h *Histogram) snapshot() HistogramSnapshot {
 	s := HistogramSnapshot{
@@ -119,20 +167,26 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 // paths resolve their metrics once (package-level vars) and never touch
 // the registry again.
 type Registry struct {
-	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	floats   map[string]*FloatCounter
-	hists    map[string]*Histogram
+	mu          sync.Mutex
+	counters    map[string]*Counter
+	gauges      map[string]*Gauge
+	floats      map[string]*FloatCounter
+	hists       map[string]*Histogram
+	counterVecs map[string]*CounterVec
+	gaugeVecs   map[string]*GaugeVec
+	histVecs    map[string]*HistogramVec
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters: map[string]*Counter{},
-		gauges:   map[string]*Gauge{},
-		floats:   map[string]*FloatCounter{},
-		hists:    map[string]*Histogram{},
+		counters:    map[string]*Counter{},
+		gauges:      map[string]*Gauge{},
+		floats:      map[string]*FloatCounter{},
+		hists:       map[string]*Histogram{},
+		counterVecs: map[string]*CounterVec{},
+		gaugeVecs:   map[string]*GaugeVec{},
+		histVecs:    map[string]*HistogramVec{},
 	}
 }
 
@@ -193,6 +247,46 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	return h
 }
 
+// CounterVec returns the named labelled counter family, creating it with
+// the given label names on first use. Later calls ignore labels and
+// return the existing family.
+func (r *Registry) CounterVec(name string, labels ...string) *CounterVec {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v, ok := r.counterVecs[name]
+	if !ok {
+		v = newCounterVec(name, labels)
+		r.counterVecs[name] = v
+	}
+	return v
+}
+
+// GaugeVec returns the named labelled gauge family, creating it with the
+// given label names on first use.
+func (r *Registry) GaugeVec(name string, labels ...string) *GaugeVec {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v, ok := r.gaugeVecs[name]
+	if !ok {
+		v = newGaugeVec(name, labels)
+		r.gaugeVecs[name] = v
+	}
+	return v
+}
+
+// HistogramVec returns the named labelled histogram family, creating it
+// with the given bounds and label names on first use.
+func (r *Registry) HistogramVec(name string, bounds []float64, labels ...string) *HistogramVec {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v, ok := r.histVecs[name]
+	if !ok {
+		v = newHistogramVec(name, bounds, labels)
+		r.histVecs[name] = v
+	}
+	return v
+}
+
 // NewCounter returns the named counter in the default registry.
 func NewCounter(name string) *Counter { return defaultRegistry.Counter(name) }
 
@@ -205,6 +299,24 @@ func NewFloatCounter(name string) *FloatCounter { return defaultRegistry.FloatCo
 // NewHistogram returns the named histogram in the default registry.
 func NewHistogram(name string, bounds []float64) *Histogram {
 	return defaultRegistry.Histogram(name, bounds)
+}
+
+// NewCounterVec returns the named labelled counter family in the default
+// registry.
+func NewCounterVec(name string, labels ...string) *CounterVec {
+	return defaultRegistry.CounterVec(name, labels...)
+}
+
+// NewGaugeVec returns the named labelled gauge family in the default
+// registry.
+func NewGaugeVec(name string, labels ...string) *GaugeVec {
+	return defaultRegistry.GaugeVec(name, labels...)
+}
+
+// NewHistogramVec returns the named labelled histogram family in the
+// default registry.
+func NewHistogramVec(name string, bounds []float64, labels ...string) *HistogramVec {
+	return defaultRegistry.HistogramVec(name, bounds, labels...)
 }
 
 // Snapshot is a copy of every metric in a registry. Map keys serialize
@@ -242,6 +354,24 @@ func (r *Registry) Snapshot() Snapshot {
 	for name, h := range r.hists {
 		s.Histograms[name] = h.snapshot()
 	}
+	// Labelled families flatten to name{l1="v1",...} keys, so the JSON
+	// snapshot (and therefore /debug/metrics, expvar and manifests)
+	// carries them without a schema change.
+	for name, v := range r.counterVecs {
+		for _, c := range v.core.snapshotChildren() {
+			s.Counters[flatName(name, v.core.labels, c.values)] = c.metric.Value()
+		}
+	}
+	for name, v := range r.gaugeVecs {
+		for _, c := range v.core.snapshotChildren() {
+			s.Gauges[flatName(name, v.core.labels, c.values)] = c.metric.Value()
+		}
+	}
+	for name, v := range r.histVecs {
+		for _, c := range v.core.snapshotChildren() {
+			s.Histograms[flatName(name, v.core.labels, c.values)] = c.metric.snapshot()
+		}
+	}
 	return s
 }
 
@@ -260,6 +390,15 @@ func (r *Registry) Names() []string {
 		out = append(out, n)
 	}
 	for n := range r.hists {
+		out = append(out, n)
+	}
+	for n := range r.counterVecs {
+		out = append(out, n)
+	}
+	for n := range r.gaugeVecs {
+		out = append(out, n)
+	}
+	for n := range r.histVecs {
 		out = append(out, n)
 	}
 	sort.Strings(out)

@@ -1,0 +1,8 @@
+//go:build !race
+
+package obs
+
+// raceEnabled reports whether this test binary was built with the race
+// detector, whose instrumentation adds allocations that would fail the
+// zero-alloc gates.
+const raceEnabled = false

@@ -1,0 +1,29 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSampleRuntimePopulatesGauges(t *testing.T) {
+	SampleRuntime()
+	if gGoroutines.Value() < 1 {
+		t.Errorf("runtime.goroutines %v, want >= 1", gGoroutines.Value())
+	}
+	if gHeapAlloc.Value() <= 0 {
+		t.Errorf("runtime.heap_alloc_bytes %v, want > 0", gHeapAlloc.Value())
+	}
+	if gNextGC.Value() <= 0 {
+		t.Errorf("runtime.next_gc_bytes %v, want > 0", gNextGC.Value())
+	}
+}
+
+func TestRuntimeSamplerStopIsIdempotent(t *testing.T) {
+	stop := StartRuntimeSampler(time.Millisecond)
+	time.Sleep(5 * time.Millisecond)
+	stop()
+	stop() // second call must not panic
+	if gGoroutines.Value() < 1 {
+		t.Error("sampler never sampled")
+	}
+}

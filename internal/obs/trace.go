@@ -20,17 +20,46 @@ type Attr struct {
 // are dropped.
 const maxSpanAttrs = 4
 
-// SpanEvent is one completed span as stored in the tracer's ring buffer.
+// SpanKind distinguishes timed spans from instantaneous point events.
+type SpanKind uint8
+
+const (
+	// KindSpan is a complete timed region (Chrome-trace "X" slice).
+	KindSpan SpanKind = iota
+	// KindInstant is a point-in-time event inside a span (Chrome-trace
+	// "i" instant): cache decisions, state transitions.
+	KindInstant
+)
+
+// SpanEvent is one completed span as stored in a span sink (the
+// process tracer's ring buffer or a per-request TraceBuffer).
 type SpanEvent struct {
 	// Cat groups spans ("experiment", "calibration", "phase", ...).
 	Cat string
 	// Name identifies the span within its category.
 	Name string
-	// StartNS and DurNS are nanoseconds relative to the tracer's epoch.
+	// StartNS and DurNS are nanoseconds relative to the sink's epoch.
 	StartNS, DurNS int64
+	// Trace, ID and Parent are the request-scoped identity: all zero for
+	// plain process-tracer spans started outside any request.
+	Trace  TraceID
+	ID     SpanID
+	Parent SpanID
+	// Kind separates timed spans from instant events.
+	Kind SpanKind
 	// Attrs[:NAttrs] are the span's annotations.
 	Attrs  [maxSpanAttrs]Attr
 	NAttrs int
+}
+
+// spanSink receives completed spans. Two implementations exist: the
+// process-wide Tracer (ring buffer of recent spans across all work) and
+// the per-request TraceBuffer (every span of one request, bounded).
+type spanSink interface {
+	// nowNS returns nanoseconds since the sink's epoch.
+	nowNS() int64
+	// recordSpan stores one completed span or instant event.
+	recordSpan(SpanEvent)
 }
 
 // Tracer records completed spans into a fixed-capacity ring buffer: when
@@ -64,54 +93,96 @@ func NewTracer(capacity int) *Tracer {
 // now returns nanoseconds since the tracer epoch.
 func (t *Tracer) now() int64 { return time.Since(t.epoch).Nanoseconds() }
 
+// nowNS implements spanSink.
+func (t *Tracer) nowNS() int64 { return t.now() }
+
+// recordSpan implements spanSink.
+func (t *Tracer) recordSpan(ev SpanEvent) {
+	t.mu.Lock()
+	t.record(ev)
+	t.mu.Unlock()
+}
+
 // Span is an in-flight timed region. The zero Span (from a nil tracer)
-// is inert: Attr and End return immediately. Spans are values and live
-// on the caller's stack; none of Start/Attr/End allocates.
+// is inert: Attr, Event and End return immediately. Spans are values and
+// live on the caller's stack; none of Start/Attr/End allocates.
 type Span struct {
-	tr     *Tracer
+	sink   spanSink
 	cat    string
 	name   string
 	start  int64
+	trace  TraceID
+	id     SpanID
+	parent SpanID
 	attrs  [maxSpanAttrs]Attr
 	nattrs int
 }
 
 // Start opens a span in category cat with the given name. On a nil
-// tracer it returns the inert zero Span.
+// tracer it returns the inert zero Span. The span gets a fresh span ID
+// (for context-propagated parenthood) but no trace ID: process-tracer
+// spans belong to the run, not to any one request.
 func (t *Tracer) Start(cat, name string) Span {
 	if t == nil {
 		return Span{}
 	}
-	return Span{tr: t, cat: cat, name: name, start: t.now()}
+	return Span{sink: t, cat: cat, name: name, start: t.now(), id: newSpanID()}
 }
+
+// Active reports whether the span records anything. Call sites guard
+// allocation-heavy attribute construction (strconv, fmt) behind it.
+func (s *Span) Active() bool { return s.sink != nil }
+
+// TraceID returns the span's trace identity (zero outside a request).
+func (s *Span) TraceID() TraceID { return s.trace }
+
+// ID returns the span's own identifier (zero on an inert span).
+func (s *Span) ID() SpanID { return s.id }
 
 // Attr annotates the span; annotations beyond the per-span capacity are
 // dropped. No-op on an inert span.
 func (s *Span) Attr(key, value string) {
-	if s.tr == nil || s.nattrs >= maxSpanAttrs {
+	if s.sink == nil || s.nattrs >= maxSpanAttrs {
 		return
 	}
 	s.attrs[s.nattrs] = Attr{Key: key, Value: value}
 	s.nattrs++
 }
 
-// End closes the span and records it. No-op on an inert span.
-func (s *Span) End() {
-	if s.tr == nil {
+// Event records an instantaneous point event inside the span — cache
+// decisions, state transitions — without opening a child span. No-op on
+// an inert span.
+func (s *Span) Event(name string) {
+	if s.sink == nil {
 		return
 	}
-	t := s.tr
-	ev := SpanEvent{
+	s.sink.recordSpan(SpanEvent{
+		Cat:     s.cat,
+		Name:    name,
+		StartNS: s.sink.nowNS(),
+		Trace:   s.trace,
+		ID:      newSpanID(),
+		Parent:  s.id,
+		Kind:    KindInstant,
+	})
+}
+
+// End closes the span and records it. No-op on an inert span.
+func (s *Span) End() {
+	if s.sink == nil {
+		return
+	}
+	s.sink.recordSpan(SpanEvent{
 		Cat:     s.cat,
 		Name:    s.name,
 		StartNS: s.start,
-		DurNS:   t.now() - s.start,
+		DurNS:   s.sink.nowNS() - s.start,
+		Trace:   s.trace,
+		ID:      s.id,
+		Parent:  s.parent,
 		Attrs:   s.attrs,
 		NAttrs:  s.nattrs,
-	}
-	t.mu.Lock()
-	t.record(ev)
-	t.mu.Unlock()
+	})
 }
 
 // record appends ev to the ring. Caller holds t.mu.
@@ -167,12 +238,16 @@ type PhaseTiming struct {
 	MaxMS   float64 `json:"max_ms"`
 }
 
-// PhaseTimings aggregates the retained spans by (category, name),
-// sorted by category then name.
+// PhaseTimings aggregates the retained timed spans by (category, name),
+// sorted by category then name. Instant events carry no duration and
+// are excluded.
 func (t *Tracer) PhaseTimings() []PhaseTiming {
 	evs := t.Events()
 	byKey := map[[2]string]*PhaseTiming{}
 	for _, ev := range evs {
+		if ev.Kind != KindSpan {
+			continue
+		}
 		k := [2]string{ev.Cat, ev.Name}
 		pt, ok := byKey[k]
 		if !ok {
@@ -199,7 +274,8 @@ func (t *Tracer) PhaseTimings() []PhaseTiming {
 	return out
 }
 
-// chromeEvent is one Chrome-trace-format "complete" (ph:"X") event.
+// chromeEvent is one Chrome-trace-format event: a "complete" (ph:"X")
+// slice or a thread-scoped instant (ph:"i").
 type chromeEvent struct {
 	Name string            `json:"name"`
 	Cat  string            `json:"cat"`
@@ -208,6 +284,7 @@ type chromeEvent struct {
 	Dur  float64           `json:"dur"`
 	Pid  int               `json:"pid"`
 	Tid  int               `json:"tid"`
+	S    string            `json:"s,omitempty"` // instant scope
 	Args map[string]string `json:"args,omitempty"`
 }
 
@@ -219,10 +296,15 @@ type chromeTrace struct {
 }
 
 // WriteChromeTrace writes the retained spans as Chrome-trace JSON.
-// Overlapping spans (parallel experiments) are assigned to separate
-// lanes (tids) greedily so every slice renders without false nesting.
 func (t *Tracer) WriteChromeTrace(w io.Writer) error {
-	evs := t.Events()
+	return WriteChromeTraceEvents(w, t.Events())
+}
+
+// WriteChromeTraceEvents writes evs as Chrome-trace JSON. Overlapping
+// spans (parallel experiments) are assigned to separate lanes (tids)
+// greedily so every slice renders without false nesting; instant events
+// become thread-scoped "i" marks on the lane they land in.
+func WriteChromeTraceEvents(w io.Writer, evs []SpanEvent) error {
 	order := make([]int, len(evs))
 	for i := range order {
 		order[i] = i
@@ -256,6 +338,10 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 			Pid:  1,
 			Tid:  lane + 1,
 		}
+		if ev.Kind == KindInstant {
+			ce.Ph = "i"
+			ce.S = "t"
+		}
 		if ev.NAttrs > 0 {
 			ce.Args = make(map[string]string, ev.NAttrs)
 			for _, a := range ev.Attrs[:ev.NAttrs] {
@@ -271,8 +357,8 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 
 // ValidateChromeTrace parses r as Chrome-trace JSON and checks the
 // invariants WriteChromeTrace guarantees: at least one event, every
-// event a complete ("X") slice with a name, non-negative timestamps and
-// durations, and positive pid/tid.
+// event a complete ("X") slice or instant ("i") mark with a name,
+// non-negative timestamps and durations, and positive pid/tid.
 func ValidateChromeTrace(r io.Reader) error {
 	var ct chromeTrace
 	dec := json.NewDecoder(r)
@@ -286,8 +372,8 @@ func ValidateChromeTrace(r io.Reader) error {
 		switch {
 		case ev.Name == "":
 			return fmt.Errorf("obs: trace event %d has no name", i)
-		case ev.Ph != "X":
-			return fmt.Errorf("obs: trace event %d (%s) has phase %q, want X", i, ev.Name, ev.Ph)
+		case ev.Ph != "X" && ev.Ph != "i":
+			return fmt.Errorf("obs: trace event %d (%s) has phase %q, want X or i", i, ev.Name, ev.Ph)
 		case ev.Ts < 0 || ev.Dur < 0:
 			return fmt.Errorf("obs: trace event %d (%s) has negative ts/dur", i, ev.Name)
 		case ev.Pid <= 0 || ev.Tid <= 0:

@@ -136,7 +136,17 @@ func exec(ctx context.Context, items, workers int, ranges []Range, body func(ci 
 				aborted.Store(true)
 			}
 		}()
+		// Inside a traced request each claimed range gets its own span
+		// (worker-level visibility). Only a context-carried span records
+		// here — never the process-tracer fallback, whose ring a
+		// range-per-span flood would evict — so plain CLI runs see no
+		// change and the disabled path stays free.
+		var sp obs.Span
+		if _, ok := obs.SpanRefFromContext(ctx); ok {
+			sp, _ = obs.StartSpanCtx(ctx, "parallel", "range")
+		}
 		body(ci, ranges[ci])
+		sp.End()
 	}
 	worker := func() {
 		tw := time.Now()

@@ -224,9 +224,13 @@ func CoverageStudyCtx(ctx context.Context, cfg CoverageConfig) ([]CoveragePoint,
 		return nil, err
 	}
 	mBootStudies.Inc()
-	sp := obs.T().Start("phase", "coverage_study")
-	sp.Attr("replicates", strconv.Itoa(cfg.Replicates))
-	sp.Attr("population", strconv.Itoa(cfg.Population))
+	// Context-propagated span: inside a traced request this nests under
+	// the request's trace; standalone it falls back to the process tracer.
+	sp, ctx := obs.StartSpanCtx(ctx, "phase", "coverage_study")
+	if sp.Active() {
+		sp.Attr("replicates", strconv.Itoa(cfg.Replicates))
+		sp.Attr("population", strconv.Itoa(cfg.Population))
+	}
 	defer sp.End()
 	tStudy := time.Now()
 	chunks := cfg.Chunks
@@ -355,6 +359,11 @@ func CoverageStudyCtx(ctx context.Context, cfg CoverageConfig) ([]CoveragePoint,
 	var executed atomic.Int64
 	runErr := parallel.ForRangesCtx(ctx, todoRanges, func(ti int, r parallel.Range) {
 		ci := todoCi[ti]
+		csp, _ := obs.StartSpanCtx(ctx, "chunk", "coverage_chunk")
+		if csp.Active() {
+			csp.Attr("chunk", strconv.Itoa(ci))
+			csp.Attr("replicates", strconv.Itoa(r.Hi-r.Lo))
+		}
 		tChunk := time.Now()
 		stream := streams[ci]
 		sc := coverScratchPool.Get().(*coverScratch)
@@ -434,6 +443,7 @@ func CoverageStudyCtx(ctx context.Context, cfg CoverageConfig) ([]CoveragePoint,
 		hBootChunk.Observe(time.Since(tChunk).Seconds())
 		mBootReplicates.Add(int64(r.Hi - r.Lo))
 		executed.Add(int64(r.Hi - r.Lo))
+		csp.End()
 	})
 
 	mu.Lock()

@@ -16,6 +16,7 @@ const (
 	codeBadJSON     = "bad_json"
 	codeInvalidPlan = "invalid_plan"
 	codeBadRequest  = "bad_request"
+	codeNotFound    = "not_found"
 	codeShed        = "shed"
 	codeTimeout     = "timeout"
 	codeUnavailable = "unavailable"

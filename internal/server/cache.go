@@ -3,6 +3,8 @@ package server
 import (
 	"context"
 	"sync"
+
+	"nodevar/internal/obs"
 )
 
 // cacheStatus reports how a request was served, echoed in the X-Cache
@@ -70,6 +72,7 @@ func (c *resultCache) Do(ctx, base context.Context, key string, compute func(con
 	if b, ok := c.results[key]; ok {
 		c.mu.Unlock()
 		mCacheHits.Inc()
+		obs.EventCtx(ctx, "cache", "hit")
 		return b, cacheHit, nil
 	}
 	f, inFlight := c.flights[key]
@@ -84,18 +87,28 @@ func (c *resultCache) Do(ctx, base context.Context, key string, compute func(con
 		if f.canceled {
 			inFlight = false
 			f.mu.Unlock()
+			obs.EventCtx(ctx, "cache", "canceled_rejoin")
 		} else {
 			f.waiters++
 			f.mu.Unlock()
 			mCacheCoalesced.Inc()
+			obs.EventCtx(ctx, "cache", "coalesced_wait")
 		}
 	}
 	if !inFlight {
 		fctx, cancel := context.WithCancel(base)
+		// The flight runs on the server lifecycle context, so the
+		// leader's span ref is transplanted onto it: the computation's
+		// spans land in the leading request's trace even though no
+		// request context reaches the flight.
+		if ref, ok := obs.SpanRefFromContext(ctx); ok {
+			fctx = obs.ContextWithSpanRef(fctx, ref)
+		}
 		f = &flight{done: make(chan struct{}), cancel: cancel, waiters: 1}
 		c.flights[key] = f
 		status = cacheMiss
 		mCacheMisses.Inc()
+		obs.EventCtx(ctx, "cache", "miss")
 		go c.run(f, key, fctx, compute)
 	}
 	c.mu.Unlock()
@@ -116,6 +129,7 @@ func (c *resultCache) Do(ctx, base context.Context, key string, compute func(con
 			// flight's context so the study stops at its next chunk
 			// boundary instead of burning cycles for an empty room.
 			mAbandoned.Inc()
+			obs.EventCtx(ctx, "cache", "abandoned")
 			f.cancel()
 		}
 		return nil, status, ctx.Err()

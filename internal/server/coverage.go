@@ -170,6 +170,8 @@ func (s *Server) handleCoverage(w http.ResponseWriter, r *http.Request) {
 // cached bytes every caller receives), and record a manifest-v3 run
 // record carrying the same seed/fingerprint provenance a CLI run would.
 func (s *Server) computeCoverage(ctx context.Context, norm CoverageRequest, cfg sampling.CoverageConfig) ([]byte, error) {
+	sp, ctx := obs.StartSpanCtx(ctx, "server", "coverage_compute")
+	defer sp.End()
 	if s.coverageGate != nil {
 		if err := s.coverageGate(ctx); err != nil {
 			return nil, err
@@ -201,7 +203,7 @@ func (s *Server) computeCoverage(ctx context.Context, norm CoverageRequest, cfg 
 	if err != nil {
 		return nil, err
 	}
-	s.writeCoverageManifest(norm, cfg, start)
+	s.writeCoverageManifest(ctx, norm, cfg, start)
 	return body, nil
 }
 
@@ -209,7 +211,7 @@ func (s *Server) computeCoverage(ctx context.Context, norm CoverageRequest, cfg 
 // record in Config.ManifestDir. Failures are logged, not returned: the
 // study result is valid either way, and an unwritable manifest dir must
 // not take the endpoint down.
-func (s *Server) writeCoverageManifest(norm CoverageRequest, cfg sampling.CoverageConfig, start time.Time) {
+func (s *Server) writeCoverageManifest(ctx context.Context, norm CoverageRequest, cfg sampling.CoverageConfig, start time.Time) {
 	if s.cfg.ManifestDir == "" {
 		return
 	}
@@ -226,6 +228,12 @@ func (s *Server) writeCoverageManifest(norm CoverageRequest, cfg sampling.Covera
 	}
 	if len(norm.PilotData) > 0 {
 		config["system"] = "custom"
+	}
+	// The manifest records which request trace computed this study — the
+	// trace ID goes in provenance, never in the cached response body,
+	// which must stay byte-identical across hits.
+	if tid, ok := obs.TraceIDFromContext(ctx); ok {
+		config["trace_id"] = tid.String()
 	}
 	m := obs.NewManifest("nodevard/coverage", nil, config, start, nil)
 	path := filepath.Join(s.cfg.ManifestDir,

@@ -24,6 +24,7 @@ import (
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -39,8 +40,7 @@ var (
 	mErrors    = obs.NewCounter("server.errors_5xx")
 	mPanics    = obs.NewCounter("server.panics_recovered")
 	gInflight  = obs.NewGauge("server.inflight")
-	hLatency   = obs.NewHistogram("server.request_seconds",
-		[]float64{0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 30})
+	hLatency   = obs.NewHistogram("server.request_seconds", latencyBuckets)
 	mCacheHits      = obs.NewCounter("server.cache.hits")
 	mCacheMisses    = obs.NewCounter("server.cache.misses")
 	mCacheCoalesced = obs.NewCounter("server.cache.coalesced")
@@ -90,6 +90,49 @@ type Config struct {
 	BaseContext context.Context
 	// Log receives request-level diagnostics. Default: discard.
 	Log *slog.Logger
+	// AccessLog, when non-nil, receives one structured line per API
+	// request (method, path, endpoint, status, bytes, latency, trace ID,
+	// cache outcome). Point it at a slog JSON handler for
+	// machine-parseable access logs. Default: no access logging.
+	AccessLog *slog.Logger
+	// TraceCapacity caps how many recent request traces are retained for
+	// GET /v1/trace/{id}. Default obs.DefaultTraceStoreCapacity (256).
+	TraceCapacity int
+	// DisableTracing turns request-scoped tracing off entirely: no trace
+	// buffers, no X-Trace-Id headers, and GET /v1/trace/{id} answers 404.
+	DisableTracing bool
+	// SLOObjective is the per-endpoint success-fraction objective behind
+	// the error-budget readiness check. Default 0.99.
+	SLOObjective float64
+	// SLOLatencyTargets overrides per-endpoint latency targets in
+	// seconds; a request slower than its endpoint's target burns error
+	// budget even when it succeeds. Defaults: 30s for coverage (a
+	// bootstrap study is legitimately slow), 250ms for everything else.
+	SLOLatencyTargets map[string]float64
+	// ReadyMaxShedRate is the fraction of requests shed over the trailing
+	// readiness window past which /healthz/ready degrades. Default 0.5.
+	ReadyMaxShedRate float64
+}
+
+// defaultSLOTargets are the built-in per-endpoint latency targets in
+// seconds (see Config.SLOLatencyTargets).
+var defaultSLOTargets = map[string]float64{
+	"samplesize": 0.25,
+	"accuracy":   0.25,
+	"table5":     0.25,
+	"rules":      0.25,
+	"coverage":   30,
+}
+
+// sloTarget resolves one endpoint's latency target.
+func (s *Server) sloTarget(name string) float64 {
+	if t, ok := s.cfg.SLOLatencyTargets[name]; ok && t > 0 {
+		return t
+	}
+	if t, ok := defaultSLOTargets[name]; ok {
+		return t
+	}
+	return 0.25
 }
 
 // Server is the nodevard HTTP API. Create one with New and mount
@@ -97,16 +140,54 @@ type Config struct {
 type Server struct {
 	cfg      Config
 	log      *slog.Logger
+	access   *slog.Logger
 	base     context.Context
 	sem      chan struct{}
 	cache    *resultCache
+	traces   *obs.TraceStore
 	inflight atomic.Int64
+
+	// Readiness state: draining flips on BeginDrain; the windows feed the
+	// trailing shed-rate check.
+	draining atomic.Bool
+	winTotal secWindow
+	winShed  secWindow
+
+	// endpoints holds each API endpoint's observability bundle, created
+	// on first registration and iterated by the readiness error-budget
+	// check.
+	epMu      sync.Mutex
+	endpoints map[string]*endpointObs
 
 	// coverageGate, when non-nil, is called at the start of every
 	// coverage computation with the flight's context. Tests use it to
 	// hold a study in flight at an exact point; production servers leave
 	// it nil.
 	coverageGate func(context.Context) error
+}
+
+// endpoint returns name's observability bundle, creating it on first
+// use.
+func (s *Server) endpoint(name string) *endpointObs {
+	s.epMu.Lock()
+	defer s.epMu.Unlock()
+	ep, ok := s.endpoints[name]
+	if !ok {
+		ep = s.newEndpointObs(name)
+		s.endpoints[name] = ep
+	}
+	return ep
+}
+
+// endpointList snapshots the registered endpoint bundles.
+func (s *Server) endpointList() []*endpointObs {
+	s.epMu.Lock()
+	defer s.epMu.Unlock()
+	out := make([]*endpointObs, 0, len(s.endpoints))
+	for _, ep := range s.endpoints {
+		out = append(out, ep)
+	}
+	return out
 }
 
 // New builds a Server, applying defaults for unset Config fields.
@@ -132,13 +213,25 @@ func New(cfg Config) *Server {
 	if cfg.Log == nil {
 		cfg.Log = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
-	return &Server{
-		cfg:   cfg,
-		log:   cfg.Log,
-		base:  cfg.BaseContext,
-		sem:   make(chan struct{}, cfg.MaxConcurrent),
-		cache: newResultCache(cfg.CacheEntries),
+	if !(cfg.SLOObjective > 0 && cfg.SLOObjective < 1) {
+		cfg.SLOObjective = 0.99
 	}
+	if cfg.ReadyMaxShedRate <= 0 || cfg.ReadyMaxShedRate > 1 {
+		cfg.ReadyMaxShedRate = 0.5
+	}
+	s := &Server{
+		cfg:       cfg,
+		log:       cfg.Log,
+		access:    cfg.AccessLog,
+		base:      cfg.BaseContext,
+		sem:       make(chan struct{}, cfg.MaxConcurrent),
+		cache:     newResultCache(cfg.CacheEntries),
+		endpoints: map[string]*endpointObs{},
+	}
+	if !cfg.DisableTracing {
+		s.traces = obs.NewTraceStore(cfg.TraceCapacity, 0)
+	}
+	return s
 }
 
 // Handler returns the server's route table. API routes pass through the
@@ -148,18 +241,20 @@ func New(cfg Config) *Server {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	api := func(name string, h http.HandlerFunc) http.Handler {
-		return s.instrument(name, s.limit(s.timeout(s.protect(h))))
+		ep := s.endpoint(name)
+		return s.instrument(ep, s.limit(ep, s.traceMW(ep, s.timeout(s.protect(h)))))
 	}
 	mux.Handle("POST /v1/samplesize", api("samplesize", s.handleSampleSize))
 	mux.Handle("POST /v1/accuracy", api("accuracy", s.handleAccuracy))
 	mux.Handle("GET /v1/table5", api("table5", s.handleTable5))
 	mux.Handle("GET /v1/rules", api("rules", s.handleRules))
 	mux.Handle("POST /v1/coverage", api("coverage", s.handleCoverage))
+	mux.HandleFunc("GET /v1/trace/{id}", s.handleTrace)
 
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		io.WriteString(w, `{"status":"ok"}`+"\n")
-	})
+	mux.HandleFunc("GET /healthz", s.handleLive)
+	mux.HandleFunc("GET /healthz/live", s.handleLive)
+	mux.HandleFunc("GET /healthz/ready", s.handleReady)
+	mux.Handle("GET /metrics", obs.PromHandler())
 	mux.HandleFunc("GET /debug/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		obs.Default().Snapshot().WriteJSON(w)

@@ -1,0 +1,32 @@
+package server
+
+import (
+	"net/http"
+
+	"nodevar/internal/obs"
+)
+
+// handleTrace serves one retained request trace as Chrome-trace JSON
+// (loadable in chrome://tracing and Perfetto). The trace ID is the value
+// of the X-Trace-Id response header the traced request carried; traces
+// are retained in a bounded FIFO, so old ones are eventually evicted.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if s.traces == nil {
+		writeError(w, http.StatusNotFound, codeNotFound, "request tracing is disabled")
+		return
+	}
+	id, err := obs.ParseTraceID(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, codeBadRequest, err.Error())
+		return
+	}
+	buf, ok := s.traces.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, codeNotFound, "trace not found (evicted, or never recorded)")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := buf.WriteChromeTrace(w); err != nil {
+		s.log.Error("trace write failed", "trace", id.String(), "err", err)
+	}
+}
