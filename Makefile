@@ -5,7 +5,9 @@ COVER_FLOOR ?= 80
 CHAOS_SEEDS ?= 8
 CHAOS_FAULTS ?= drop=0.02,stuck=0.01,glitch=0.01,jitter=0.1,meterdrop=0.05,nodedrop=0.15
 
-.PHONY: build test vet race race-obs check bench trace repro fuzz-smoke cover-check chaos interrupt vuln serve loadcheck obs-serve-check
+FLEET_FUZZTIME ?= 30s
+
+.PHONY: build test vet race race-obs check bench trace repro fuzz-smoke cover-check chaos interrupt vuln serve loadcheck obs-serve-check fleet-check
 
 build:
 	$(GO) build ./...
@@ -112,6 +114,17 @@ repro:
 SERVE_ADDR ?= :8080
 serve:
 	$(GO) run ./cmd/nodevard -addr $(SERVE_ADDR)
+
+# The streaming-fleet gate: the exact-sum/sketch/fleet/server suites and
+# the batch-equivalence replay harness (8 seeds, randomized batch splits
+# and duplicate re-sends, bit-identical moments/CI/recommendations) under
+# the race detector, then the ingest-decoder and quantile-sketch fuzz
+# targets. go test accepts one -fuzz target per invocation, hence the
+# separate runs.
+fleet-check:
+	$(GO) test -race -count=1 ./internal/stats ./internal/fleet/... ./internal/server
+	$(GO) test -run='^$$' -fuzz=FuzzIngestDecode -fuzztime=$(FLEET_FUZZTIME) ./internal/server
+	$(GO) test -run='^$$' -fuzz=FuzzQuantileSketch -fuzztime=$(FLEET_FUZZTIME) ./internal/stats
 
 # The load-shedding/coalescing gate: ~120 concurrent identical coverage
 # requests against a lowered concurrency limit, under the race detector.

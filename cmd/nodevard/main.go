@@ -2,8 +2,10 @@
 // long-lived HTTP JSON API: sample-size planning (/v1/samplesize),
 // expected-accuracy queries (/v1/accuracy), the Table 5 grid
 // (/v1/table5), the Level-1 versus revised subset rules (/v1/rules) and
-// the Figure 3 bootstrap coverage study (/v1/coverage), with coalesced
-// result caching, 429 load shedding and per-request timeouts.
+// the Figure 3 bootstrap coverage study (/v1/coverage), and live
+// streaming fleet ingestion (/v1/ingest plus the /v1/fleet/{id}/stats,
+// /samplesize and /outliers views), with coalesced result caching, 429
+// load shedding and per-request timeouts.
 //
 // Usage:
 //
@@ -51,6 +53,9 @@ func realMain() int {
 		traceRing     = flag.Int("trace-ring", 256, "recent request traces retained for GET /v1/trace/{id}; 0 disables request tracing")
 		runtimeSample = flag.Duration("runtime-sample", 10*time.Second, "background runtime gauge sampling interval; 0 samples only on /metrics scrapes")
 		sloObjective  = flag.Float64("slo-objective", 0.99, "per-endpoint SLO success-fraction objective behind the error-budget readiness check")
+		maxFleets     = flag.Int("max-fleets", 64, "live streaming fleets tracked; past the cap the least-recently-ingested fleet is evicted")
+		fleetWindow   = flag.Duration("fleet-window", 5*time.Minute, "rolling-statistics span of each fleet's windowed view")
+		ingestBatch   = flag.Int("ingest-max-batch", 4096, "largest /v1/ingest sample batch accepted")
 		accessLogs    = flag.Bool("access-log", true, "emit one structured log line per API request")
 		obsFlags      = cli.RegisterObsFlags()
 		execFlags     = cli.RegisterExecFlags()
@@ -73,6 +78,9 @@ func realMain() int {
 	run.SetConfig("max_population", *maxPopulation)
 	run.SetConfig("trace_ring", *traceRing)
 	run.SetConfig("slo_objective", *sloObjective)
+	run.SetConfig("max_fleets", *maxFleets)
+	run.SetConfig("fleet_window", fleetWindow.String())
+	run.SetConfig("ingest_max_batch", *ingestBatch)
 
 	if *runtimeSample > 0 {
 		stopSampler := obs.StartRuntimeSampler(*runtimeSample)
@@ -96,6 +104,9 @@ func realMain() int {
 		TraceCapacity:  *traceRing,
 		DisableTracing: *traceRing <= 0,
 		SLOObjective:   *sloObjective,
+		MaxFleets:      *maxFleets,
+		FleetWindow:    *fleetWindow,
+		IngestMaxBatch: *ingestBatch,
 	}
 	if *accessLogs {
 		// Access logs share the run logger, so -log-format json yields

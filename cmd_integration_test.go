@@ -8,6 +8,7 @@ import (
 	"bufio"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
 	"net/http"
 	"os"
@@ -20,6 +21,8 @@ import (
 
 	"nodevar/internal/checkpoint"
 	"nodevar/internal/obs"
+	"nodevar/internal/rng"
+	"nodevar/internal/sampling"
 )
 
 // buildCmds compiles every cmd/ binary into a temp dir once per test run.
@@ -305,5 +308,163 @@ func TestReproInterrupt(t *testing.T) {
 	err = checkpoint.Load(ckpt, "bogus/kind", 0, 0, &state)
 	if !errors.Is(err, checkpoint.ErrMismatch) {
 		t.Errorf("checkpoint probe error = %v, want ErrMismatch (intact envelope)", err)
+	}
+}
+
+// TestNodevardIngestServe drives the streaming fleet subsystem end to
+// end through a real nodevard process: a seeded 100-node stream is
+// POSTed to /v1/ingest in batches (one re-sent verbatim to prove
+// idempotency over the wire), the live sample-size endpoint is polled
+// until it converges to the batch two-phase recommendation computed
+// in-process over the same values, and SIGTERM drains with exit 130.
+func TestNodevardIngestServe(t *testing.T) {
+	dir := buildCmds(t)
+
+	cmd := exec.Command(filepath.Join(dir, "nodevard"),
+		"-addr", "127.0.0.1:0", "-drain-timeout", "30s",
+		"-max-fleets", "8", "-fleet-window", "1m", "-ingest-max-batch", "64")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stderr strings.Builder
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	defer cmd.Process.Kill()
+
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		t.Fatalf("nodevard produced no startup line\n%s", stderr.String())
+	}
+	const prefix = "nodevard listening on "
+	line := sc.Text()
+	if !strings.HasPrefix(line, prefix) {
+		t.Fatalf("startup line %q, want %q prefix", line, prefix)
+	}
+	url := "http://" + strings.TrimSpace(strings.TrimPrefix(line, prefix))
+	go io.Copy(io.Discard, stdout)
+
+	// A deterministic 100-node stream and its batch reference answer,
+	// computed with the same library the server uses.
+	const nodes = 100
+	values := make([]float64, nodes)
+	r := rng.New(2015)
+	for i := range values {
+		values[i] = r.Normal(415, 9)
+	}
+	wantRec, err := sampling.TwoPhase(values, 0.95, 0.01, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	post := func(body string) (int, []byte) {
+		t.Helper()
+		resp, err := http.Post(url+"/v1/ingest", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST /v1/ingest: %v\n%s", err, stderr.String())
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, b
+	}
+
+	// Stream in 10 batches of 10; re-send the middle batch verbatim.
+	var batches []string
+	for start := 0; start < nodes; start += 10 {
+		var sb strings.Builder
+		sb.WriteString(`{"fleet":"live","samples":[`)
+		for i := start; i < start+10; i++ {
+			if i > start {
+				sb.WriteString(",")
+			}
+			fmt.Fprintf(&sb, `{"node":"n%03d","seq":1,"watts":%v}`, i, values[i])
+		}
+		sb.WriteString(`]}`)
+		batches = append(batches, sb.String())
+	}
+	for i, b := range batches {
+		status, body := post(b)
+		if status != http.StatusOK {
+			t.Fatalf("ingest batch %d: status %d\n%s", i, status, body)
+		}
+		if i == 5 {
+			status, body = post(b) // wire-level retry must be a no-op
+			if status != http.StatusOK || !strings.Contains(string(body), `"duplicates":10`) {
+				t.Fatalf("retried batch: status %d\n%s", status, body)
+			}
+		}
+	}
+
+	// Poll the live recommendation until it converges to the batch
+	// two-phase answer over the full stream.
+	deadline := time.After(time.Minute)
+	for {
+		resp, err := http.Get(url + "/v1/fleet/live/samplesize?accuracy=0.01&confidence=0.95&population=" + fmt.Sprint(nodes))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		var sr struct {
+			Samples     uint64 `json:"samples"`
+			Recommended int    `json:"recommended"`
+			Source      string `json:"source"`
+		}
+		if resp.StatusCode == http.StatusOK {
+			if err := json.Unmarshal(b, &sr); err != nil {
+				t.Fatalf("samplesize body: %v\n%s", err, b)
+			}
+			if sr.Samples == nodes && sr.Recommended == wantRec {
+				if sr.Source != "live-ingest" {
+					t.Fatalf("samplesize source %q, want live-ingest", sr.Source)
+				}
+				break
+			}
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("samplesize never converged to %d: last status %d body %s", wantRec, resp.StatusCode, b)
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+
+	// Stats and outliers views answer over the same live state.
+	resp, err := http.Get(url + "/v1/fleet/live/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK ||
+		!strings.Contains(string(b), `"samples":100`) ||
+		!strings.Contains(string(b), `"duplicates":10`) ||
+		!strings.Contains(string(b), `"p50"`) {
+		t.Fatalf("/v1/fleet/live/stats: status %d\n%s", resp.StatusCode, b)
+	}
+	resp, err = http.Get(url + "/v1/fleet/live/outliers?z=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(b), `"outliers"`) {
+		t.Fatalf("/v1/fleet/live/outliers: status %d\n%s", resp.StatusCode, b)
+	}
+
+	// SIGTERM drains and exits with the signal convention's 130.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(time.Minute):
+		t.Fatalf("nodevard did not exit within 1m of SIGTERM\n%s", stderr.String())
+	}
+	if code := cmd.ProcessState.ExitCode(); code != 130 {
+		t.Fatalf("exit code %d after SIGTERM, want 130\n%s", code, stderr.String())
 	}
 }

@@ -1,0 +1,131 @@
+package fleet
+
+import (
+	"fmt"
+	"sync"
+
+	"nodevar/internal/obs"
+)
+
+// DefaultMaxFleets caps how many named fleets a registry tracks at once.
+const DefaultMaxFleets = 64
+
+var (
+	mSamplesAccepted  = obs.NewCounter("fleet.samples_accepted")
+	mSamplesDuplicate = obs.NewCounter("fleet.samples_duplicate")
+	mBatchesRejected  = obs.NewCounter("fleet.batches_rejected")
+	mFleetsCreated    = obs.NewCounter("fleet.created")
+	mFleetsEvicted    = obs.NewCounter("fleet.evicted")
+	gFleetsActive     = obs.NewGauge("fleet.active")
+	gNodesTotal       = obs.NewGauge("fleet.nodes_total")
+)
+
+// Registry owns all live fleets. When a batch names a fleet past the
+// capacity cap, the least-recently-ingested fleet is evicted to make
+// room — live fleets are a cache over the stream, not a durable store.
+type Registry struct {
+	mu        sync.RWMutex
+	cfg       Config
+	maxFleets int
+	fleets    map[string]*Fleet
+}
+
+// NewRegistry builds a registry holding at most maxFleets fleets
+// (<= 0 selects DefaultMaxFleets), each configured from cfg.
+func NewRegistry(maxFleets int, cfg Config) *Registry {
+	if maxFleets <= 0 {
+		maxFleets = DefaultMaxFleets
+	}
+	return &Registry{
+		cfg:       cfg.withDefaults(),
+		maxFleets: maxFleets,
+		fleets:    make(map[string]*Fleet),
+	}
+}
+
+// Ingest validates and applies one sample batch to the named fleet,
+// creating (and if necessary evicting to make room for) the fleet. A
+// returned error guarantees no state changed.
+func (r *Registry) Ingest(id string, samples []Sample) (IngestResult, error) {
+	if err := ValidName(id); err != nil {
+		mBatchesRejected.Inc()
+		return IngestResult{}, fmt.Errorf("fleet id: %w", err)
+	}
+	if err := ValidateBatch(samples); err != nil {
+		mBatchesRejected.Inc()
+		return IngestResult{}, err
+	}
+	f := r.getOrCreate(id)
+	res, err := f.ingest(samples, r.cfg.Now())
+	if err != nil {
+		mBatchesRejected.Inc()
+		return IngestResult{}, err
+	}
+	mSamplesAccepted.Add(int64(res.Accepted))
+	mSamplesDuplicate.Add(int64(res.Duplicates))
+	if res.NewNodes > 0 {
+		gNodesTotal.Add(float64(res.NewNodes))
+	}
+	return res, nil
+}
+
+func (r *Registry) getOrCreate(id string) *Fleet {
+	r.mu.RLock()
+	f := r.fleets[id]
+	r.mu.RUnlock()
+	if f != nil {
+		return f
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f = r.fleets[id]; f != nil {
+		return f
+	}
+	if len(r.fleets) >= r.maxFleets {
+		r.evictOldestLocked()
+	}
+	f = newFleet(id, r.cfg)
+	r.fleets[id] = f
+	mFleetsCreated.Inc()
+	gFleetsActive.Set(float64(len(r.fleets)))
+	return f
+}
+
+// evictOldestLocked drops the fleet with the oldest last-ingest time;
+// ties break on name so eviction is deterministic. Caller holds the
+// write lock.
+func (r *Registry) evictOldestLocked() {
+	var victim *Fleet
+	var victimName string
+	for name, f := range r.fleets {
+		if victim == nil {
+			victim, victimName = f, name
+			continue
+		}
+		vn, fn := victim.lastNano.Load(), f.lastNano.Load()
+		if fn < vn || (fn == vn && name < victimName) {
+			victim, victimName = f, name
+		}
+	}
+	if victim == nil {
+		return
+	}
+	delete(r.fleets, victimName)
+	mFleetsEvicted.Inc()
+	gNodesTotal.Sub(float64(victim.nodeCount.Load()))
+	gFleetsActive.Set(float64(len(r.fleets)))
+}
+
+// Get returns the named fleet, or nil when unknown.
+func (r *Registry) Get(id string) *Fleet {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.fleets[id]
+}
+
+// Len returns the number of live fleets.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.fleets)
+}

@@ -21,6 +21,13 @@ const (
 	codeTimeout     = "timeout"
 	codeUnavailable = "unavailable"
 	codeInternal    = "internal"
+	// codeInsufficientData marks a live-fleet request that is valid but
+	// cannot be answered yet (fewer than 2 samples, zero variance); retry
+	// after more data arrives.
+	codeInsufficientData = "insufficient_data"
+	// codeFleetFull marks an ingest batch rejected because it would push
+	// a fleet past its node capacity.
+	codeFleetFull = "fleet_full"
 )
 
 // apiError is the structured error body every non-2xx API response

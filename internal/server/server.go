@@ -28,6 +28,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"nodevar/internal/fleet"
 	"nodevar/internal/obs"
 )
 
@@ -112,16 +113,29 @@ type Config struct {
 	// ReadyMaxShedRate is the fraction of requests shed over the trailing
 	// readiness window past which /healthz/ready degrades. Default 0.5.
 	ReadyMaxShedRate float64
+	// MaxFleets caps how many named streaming fleets the server tracks;
+	// past the cap, the least-recently-ingested fleet is evicted. Default
+	// fleet.DefaultMaxFleets (64).
+	MaxFleets int
+	// FleetWindow is the rolling-statistics span of each fleet's windowed
+	// view. Default fleet.DefaultWindow (5m).
+	FleetWindow time.Duration
+	// IngestMaxBatch caps samples per /v1/ingest batch. Default 4096.
+	IngestMaxBatch int
 }
 
 // defaultSLOTargets are the built-in per-endpoint latency targets in
 // seconds (see Config.SLOLatencyTargets).
 var defaultSLOTargets = map[string]float64{
-	"samplesize": 0.25,
-	"accuracy":   0.25,
-	"table5":     0.25,
-	"rules":      0.25,
-	"coverage":   30,
+	"samplesize":       0.25,
+	"accuracy":         0.25,
+	"table5":           0.25,
+	"rules":            0.25,
+	"coverage":         30,
+	"ingest":           0.25,
+	"fleet_stats":      0.25,
+	"fleet_samplesize": 0.25,
+	"fleet_outliers":   0.25,
 }
 
 // sloTarget resolves one endpoint's latency target.
@@ -144,6 +158,7 @@ type Server struct {
 	base     context.Context
 	sem      chan struct{}
 	cache    *resultCache
+	fleets   *fleet.Registry
 	traces   *obs.TraceStore
 	inflight atomic.Int64
 
@@ -219,6 +234,15 @@ func New(cfg Config) *Server {
 	if cfg.ReadyMaxShedRate <= 0 || cfg.ReadyMaxShedRate > 1 {
 		cfg.ReadyMaxShedRate = 0.5
 	}
+	if cfg.MaxFleets <= 0 {
+		cfg.MaxFleets = fleet.DefaultMaxFleets
+	}
+	if cfg.FleetWindow <= 0 {
+		cfg.FleetWindow = fleet.DefaultWindow
+	}
+	if cfg.IngestMaxBatch <= 0 {
+		cfg.IngestMaxBatch = 4096
+	}
 	s := &Server{
 		cfg:       cfg,
 		log:       cfg.Log,
@@ -228,6 +252,7 @@ func New(cfg Config) *Server {
 		cache:     newResultCache(cfg.CacheEntries),
 		endpoints: map[string]*endpointObs{},
 	}
+	s.fleets = fleet.NewRegistry(cfg.MaxFleets, fleet.Config{Window: cfg.FleetWindow})
 	if !cfg.DisableTracing {
 		s.traces = obs.NewTraceStore(cfg.TraceCapacity, 0)
 	}
@@ -249,6 +274,10 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("GET /v1/table5", api("table5", s.handleTable5))
 	mux.Handle("GET /v1/rules", api("rules", s.handleRules))
 	mux.Handle("POST /v1/coverage", api("coverage", s.handleCoverage))
+	mux.Handle("POST /v1/ingest", api("ingest", s.handleIngest))
+	mux.Handle("GET /v1/fleet/{id}/stats", api("fleet_stats", s.handleFleetStats))
+	mux.Handle("GET /v1/fleet/{id}/samplesize", api("fleet_samplesize", s.handleFleetSampleSize))
+	mux.Handle("GET /v1/fleet/{id}/outliers", api("fleet_outliers", s.handleFleetOutliers))
 	mux.HandleFunc("GET /v1/trace/{id}", s.handleTrace)
 
 	mux.HandleFunc("GET /healthz", s.handleLive)

@@ -1,0 +1,168 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"nodevar/internal/rng"
+)
+
+// TestStreamMomentsMergeOrderSplitInvariant is the merge-invariance
+// property test: for ANY partition of a sample stream — including
+// non-contiguous ones — into per-part accumulators built sequentially,
+// merged in ANY order and tree shape, every rendered moment is
+// bit-identical to the single sequential pass. This is the guarantee the
+// fleet window buckets and any future sharded ingestion lean on; the
+// classic Welford Accumulator.Merge only approximates it (see
+// TestAccumulatorMergeCloseToSequential below).
+func TestStreamMomentsMergeOrderSplitInvariant(t *testing.T) {
+	for seed := uint64(1); seed <= 24; seed++ {
+		r := rng.New(seed)
+		n := 2 + r.Intn(400)
+		xs := mixedValues(r, n)
+
+		var seq StreamMoments
+		seq.AddSlice(xs)
+
+		// Random (possibly empty-part, non-contiguous) partition.
+		parts := make([]*StreamMoments, 1+r.Intn(12))
+		for i := range parts {
+			parts[i] = &StreamMoments{}
+		}
+		for _, x := range xs {
+			parts[r.Intn(len(parts))].Add(x)
+		}
+
+		// Merge in random order with a random tree shape: repeatedly pick
+		// two surviving accumulators and fold one into the other.
+		for len(parts) > 1 {
+			i := r.Intn(len(parts))
+			j := r.Intn(len(parts) - 1)
+			if j >= i {
+				j++
+			}
+			parts[i].Merge(parts[j])
+			parts[j] = parts[len(parts)-1]
+			parts = parts[:len(parts)-1]
+		}
+		got := parts[0]
+
+		if got.N() != seq.N() {
+			t.Fatalf("seed %d: merged N=%d, sequential N=%d", seed, got.N(), seq.N())
+		}
+		assertSameBits := func(name string, a, b float64) {
+			t.Helper()
+			if math.Float64bits(a) != math.Float64bits(b) {
+				t.Fatalf("seed %d: merged %s=%g (%016x) differs from sequential %g (%016x)",
+					seed, name, a, math.Float64bits(a), b, math.Float64bits(b))
+			}
+		}
+		assertSameBits("Sum", got.Sum(), seq.Sum())
+		assertSameBits("SumSquares", got.SumSquares(), seq.SumSquares())
+		assertSameBits("Mean", got.Mean(), seq.Mean())
+		assertSameBits("Variance", got.Variance(), seq.Variance())
+		assertSameBits("StdDev", got.StdDev(), seq.StdDev())
+		assertSameBits("Min", got.Min(), seq.Min())
+		assertSameBits("Max", got.Max(), seq.Max())
+	}
+}
+
+// TestStreamMomentsMatchesBatch pins StreamMoments to the batch
+// reference implementations on well-conditioned (power-like) data: the
+// exact-sum mean is bit-identical to the compensated stats.Mean, and
+// variance agrees with the two-pass stats.Variance to a few ulps.
+func TestStreamMomentsMatchesBatch(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		r := rng.New(seed)
+		xs := make([]float64, 2+r.Intn(3000))
+		for i := range xs {
+			xs[i] = r.Normal(420, 9)
+		}
+		var m StreamMoments
+		m.AddSlice(xs)
+		// Kahan-compensated Sum is not guaranteed correctly rounded, but
+		// for this data it is; the comparison guards both implementations.
+		if got, want := m.Mean(), Mean(xs); math.Abs(got-want) > 1e-12*want {
+			t.Fatalf("seed %d: stream mean %g, batch mean %g", seed, got, want)
+		}
+		if got, want := m.Variance(), Variance(xs); math.Abs(got-want) > 1e-9*want {
+			t.Fatalf("seed %d: stream variance %g, batch variance %g", seed, got, want)
+		}
+		if m.Min() != Min(xs) || m.Max() != Max(xs) {
+			t.Fatalf("seed %d: stream extremes (%g, %g), batch (%g, %g)",
+				seed, m.Min(), m.Max(), Min(xs), Max(xs))
+		}
+	}
+}
+
+// TestAccumulatorMergeCloseToSequential documents why StreamMoments
+// exists: Welford merging is numerically excellent — within tight
+// relative tolerance of the sequential pass — but not bit-exact under
+// resplitting, so code that needs reproducibility across merge
+// topologies must use StreamMoments instead.
+func TestAccumulatorMergeCloseToSequential(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		r := rng.New(seed)
+		xs := make([]float64, 100+r.Intn(1000))
+		for i := range xs {
+			xs[i] = r.Normal(400, 8)
+		}
+		var seq Accumulator
+		seq.AddSlice(xs)
+		cut := 1 + r.Intn(len(xs)-1)
+		var a, b Accumulator
+		a.AddSlice(xs[:cut])
+		b.AddSlice(xs[cut:])
+		a.Merge(&b)
+		if a.N() != seq.N() {
+			t.Fatalf("seed %d: merged N=%d, want %d", seed, a.N(), seq.N())
+		}
+		if rel := math.Abs(a.Mean()-seq.Mean()) / seq.Mean(); rel > 1e-13 {
+			t.Fatalf("seed %d: merged Welford mean off by %g relative", seed, rel)
+		}
+		if rel := math.Abs(a.Variance()-seq.Variance()) / seq.Variance(); rel > 1e-10 {
+			t.Fatalf("seed %d: merged Welford variance off by %g relative", seed, rel)
+		}
+	}
+}
+
+func TestStreamMomentsEmptyPanics(t *testing.T) {
+	cases := map[string]func(*StreamMoments){
+		"Mean":     func(m *StreamMoments) { m.Mean() },
+		"Variance": func(m *StreamMoments) { m.Variance() },
+		"Min":      func(m *StreamMoments) { m.Min() },
+		"Max":      func(m *StreamMoments) { m.Max() },
+	}
+	for name, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s on empty StreamMoments did not panic", name)
+				}
+			}()
+			var m StreamMoments
+			f(&m)
+		}()
+	}
+	// Merging empties in any combination stays empty and harmless.
+	var a, b StreamMoments
+	a.Merge(&b)
+	if a.N() != 0 {
+		t.Fatalf("merged empties N=%d, want 0", a.N())
+	}
+	b.Add(3)
+	a.Merge(&b)
+	if a.N() != 1 || a.Min() != 3 || a.Max() != 3 {
+		t.Fatalf("empty.Merge(singleton) = N%d [%g,%g], want 1 [3,3]", a.N(), a.Min(), a.Max())
+	}
+}
+
+func TestStreamMomentsZeroVariance(t *testing.T) {
+	var m StreamMoments
+	for i := 0; i < 50; i++ {
+		m.Add(123.456)
+	}
+	if v := m.Variance(); v != 0 {
+		t.Fatalf("constant stream variance %g, want exactly 0", v)
+	}
+}
