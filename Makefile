@@ -6,8 +6,9 @@ CHAOS_SEEDS ?= 8
 CHAOS_FAULTS ?= drop=0.02,stuck=0.01,glitch=0.01,jitter=0.1,meterdrop=0.05,nodedrop=0.15
 
 FLEET_FUZZTIME ?= 30s
+DIST_FUZZTIME ?= 30s
 
-.PHONY: build test vet race race-obs check bench trace repro fuzz-smoke cover-check chaos interrupt vuln serve loadcheck obs-serve-check fleet-check
+.PHONY: build test vet race race-obs check bench trace repro fuzz-smoke cover-check chaos interrupt vuln serve loadcheck obs-serve-check fleet-check dist-check
 
 build:
 	$(GO) build ./...
@@ -125,6 +126,18 @@ fleet-check:
 	$(GO) test -race -count=1 ./internal/stats ./internal/fleet/... ./internal/server
 	$(GO) test -run='^$$' -fuzz=FuzzIngestDecode -fuzztime=$(FLEET_FUZZTIME) ./internal/server
 	$(GO) test -run='^$$' -fuzz=FuzzQuantileSketch -fuzztime=$(FLEET_FUZZTIME) ./internal/stats
+
+# The distributed-serving gate: the dist package (ring, protocol,
+# worker, frontend, net-fault chaos composition) under the race
+# detector, the two-worker SIGKILL failover suite with byte-identity
+# against a single-process reference across four seeds, the 1-vs-4
+# worker loadgen scaling proof (>=2x completed studies, zero 5xx), and
+# the job-envelope decoder fuzz target.
+dist-check:
+	$(GO) test -race -count=1 ./internal/dist/... ./internal/faults
+	$(GO) test -race -count=1 -run TestDistFailoverE2E .
+	NODEVAR_DIST_SCALE=1 $(GO) test -count=1 -run TestDistScalingGate .
+	$(GO) test -run='^$$' -fuzz=FuzzJobDecode -fuzztime=$(DIST_FUZZTIME) ./internal/dist
 
 # The load-shedding/coalescing gate: ~120 concurrent identical coverage
 # requests against a lowered concurrency limit, under the race detector.

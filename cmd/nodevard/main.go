@@ -7,12 +7,23 @@
 // /samplesize and /outliers views), with coalesced result caching, 429
 // load shedding and per-request timeouts.
 //
+// nodevard also scales out: `-role=worker` turns the process into a
+// stateless coverage compute worker speaking the internal/dist job
+// protocol, and `-workers` pointed at a fleet of those turns the API
+// server into a distributed frontend that consistent-hashes each study
+// onto the fleet, streams checkpointed progress back, fails over to a
+// survivor when a worker dies mid-study (resuming byte-identically from
+// the last streamed checkpoint), and degrades to in-process compute —
+// flagged, never an outage — when no workers are live.
+//
 // Usage:
 //
 //	nodevard                              # listen on :8080
 //	nodevard -addr 127.0.0.1:0            # ephemeral port (printed on stdout)
 //	nodevard -max-concurrent 128 -request-timeout 2m
 //	nodevard -manifest-dir ./manifests    # one run record per coverage study
+//	nodevard -role=worker -addr :9090     # coverage compute worker
+//	nodevard -workers http://h1:9090,http://h2:9090   # frontend over a fleet
 //
 // The first SIGINT/SIGTERM starts a graceful drain: the listener closes
 // immediately (new requests are refused), in-flight requests get
@@ -29,9 +40,11 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"nodevar/internal/cli"
+	"nodevar/internal/dist"
 	"nodevar/internal/obs"
 	"nodevar/internal/server"
 )
@@ -57,12 +70,25 @@ func realMain() int {
 		fleetWindow   = flag.Duration("fleet-window", 5*time.Minute, "rolling-statistics span of each fleet's windowed view")
 		ingestBatch   = flag.Int("ingest-max-batch", 4096, "largest /v1/ingest sample batch accepted")
 		accessLogs    = flag.Bool("access-log", true, "emit one structured log line per API request")
-		obsFlags      = cli.RegisterObsFlags()
-		execFlags     = cli.RegisterExecFlags()
+
+		role          = flag.String("role", "api", `process role: "api" serves the JSON API, "worker" serves the distributed coverage compute tier`)
+		workers       = flag.String("workers", "", "comma-separated worker base URLs; when set, /v1/coverage studies run on the fleet with checkpointed failover (api role only)")
+		probeInterval = flag.Duration("probe-interval", time.Second, "worker health-probe cadence and initial reconnect backoff (frontend)")
+		distTimeout   = flag.Duration("dist-job-timeout", 0, "per-worker dispatch budget for one coverage job; 0 leaves the request budget as the only bound (frontend)")
+		distCkEvery   = flag.Int("dist-checkpoint-every", 4, "streamed-progress cadence in completed chunks requested of workers (frontend)")
+		workerJobs    = flag.Int("worker-max-jobs", 4, "concurrent coverage studies per worker; excess jobs queue (worker role)")
+		workerCache   = flag.Int("worker-cache", 64, "completed jobs remembered for idempotent replay (worker role)")
+		chunkDelay    = flag.Duration("worker-chunk-delay", 0, "sleep after each completed chunk; chaos/scaling harness knob, leave 0 in production (worker role)")
+
+		obsFlags  = cli.RegisterObsFlags()
+		execFlags = cli.RegisterExecFlags()
 	)
 	flag.Parse()
 	if err := execFlags.Validate(); err != nil {
 		fatal(err)
+	}
+	if *role != "api" && *role != "worker" {
+		fatal(fmt.Errorf("unknown -role %q (want api or worker)", *role))
 	}
 
 	run, err := obsFlags.Start("nodevard")
@@ -71,6 +97,24 @@ func realMain() int {
 	}
 	ctx, stop := run.Context(execFlags)
 	defer stop()
+	run.SetConfig("role", *role)
+
+	if *role == "worker" {
+		if *runtimeSample > 0 {
+			stopSampler := obs.StartRuntimeSampler(*runtimeSample)
+			defer stopSampler()
+		}
+		run.SetConfig("addr", *addr)
+		run.SetConfig("worker_max_jobs", *workerJobs)
+		run.SetConfig("worker_chunk_delay", chunkDelay.String())
+		return runWorker(run, ctx, *addr, *drainTimeout, dist.WorkerConfig{
+			MaxConcurrent: *workerJobs,
+			CacheEntries:  *workerCache,
+			ChunkDelay:    *chunkDelay,
+			Log:           run.Log,
+		})
+	}
+
 	run.SetConfig("addr", *addr)
 	run.SetConfig("max_concurrent", *maxConc)
 	run.SetConfig("request_timeout", reqTimeout.String())
@@ -113,6 +157,29 @@ func realMain() int {
 		// machine-parseable JSON lines with trace ID and cache outcome.
 		cfg.AccessLog = run.Log
 	}
+	if *workers != "" {
+		fleet := strings.Split(*workers, ",")
+		for i := range fleet {
+			fleet[i] = strings.TrimSpace(fleet[i])
+		}
+		fe, err := dist.NewFrontend(dist.Config{
+			Workers:         fleet,
+			ProbeInterval:   *probeInterval,
+			JobTimeout:      *distTimeout,
+			CheckpointEvery: *distCkEvery,
+			Log:             run.Log,
+		})
+		if err != nil {
+			return run.Close(err)
+		}
+		// The probe loop lives on the server lifecycle context, so it keeps
+		// watching the fleet through a drain (in-flight studies may still
+		// need a failover target) and stops with everything else.
+		fe.Start(baseCtx)
+		cfg.Dist = fe
+		run.SetConfig("workers", fleet)
+		run.Log.Info("distributed coverage enabled", "workers", len(fleet))
+	}
 	srv := server.New(cfg)
 
 	ln, err := net.Listen("tcp", *addr)
@@ -147,6 +214,43 @@ func realMain() int {
 	}
 	if serr := <-serveErr; serr != nil && !errors.Is(serr, http.ErrServerClosed) {
 		run.Log.Error("serve loop error", "err", serr)
+	}
+	return run.Close(ctx.Err())
+}
+
+// runWorker serves the distributed coverage compute tier: the
+// internal/dist job protocol plus /metrics and the health probe. Same
+// signal convention as the API role — first signal drains, exit 130.
+func runWorker(run *cli.Run, ctx context.Context, addr string, drainTimeout time.Duration, wcfg dist.WorkerConfig) int {
+	w := dist.NewWorker(wcfg)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return run.Close(err)
+	}
+	// Same stdout discovery line as the API role, so harnesses parse one
+	// format regardless of role.
+	fmt.Printf("nodevard listening on %s\n", ln.Addr())
+	run.Log.Info("nodevard worker listening", "addr", ln.Addr().String())
+
+	hs := &http.Server{Handler: w.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return run.Close(err)
+	case <-ctx.Done():
+	}
+
+	run.Log.Info("worker draining", "grace", drainTimeout.String())
+	sctx, scancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer scancel()
+	if derr := hs.Shutdown(sctx); derr != nil {
+		run.Log.Warn("worker drain incomplete; closing remaining connections", "err", derr)
+		hs.Close()
+	}
+	if serr := <-serveErr; serr != nil && !errors.Is(serr, http.ErrServerClosed) {
+		run.Log.Error("worker serve loop error", "err", serr)
 	}
 	return run.Close(ctx.Err())
 }

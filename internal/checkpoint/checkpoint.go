@@ -9,9 +9,17 @@
 // payload makes corruption and truncation loud — a damaged checkpoint
 // errors on load, it never silently yields partial state.
 //
-// Writes are atomic (temp file + rename in the destination directory),
-// so a crash mid-save leaves either the previous checkpoint or the new
-// one, never a torn file.
+// Writes are atomic and durable (temp file + fsync + rename in the
+// destination directory, then an fsync of the directory itself), so a
+// crash mid-save — including a whole-host crash that loses the page
+// cache — leaves either the previous checkpoint or the new one, never a
+// torn file.
+//
+// The envelope also exists independently of the filesystem: Encode and
+// Decode translate between a state value and the stamped, checksummed
+// envelope bytes, so the same codec that persists a study to disk can
+// stream its progress over a network connection (the distributed
+// coverage engine in internal/dist ships these bytes between workers).
 package checkpoint
 
 import (
@@ -57,13 +65,15 @@ func checksum(kind string, seed, fingerprint uint64, payload []byte) uint32 {
 	return h.Sum32()
 }
 
-// Save marshals state and writes it to path atomically, stamped with
-// kind, seed and fingerprint. An existing file at path is replaced only
-// once the new checkpoint is fully on disk.
-func Save(path, kind string, seed, fingerprint uint64, state any) error {
+// Encode marshals state into a stamped, checksummed envelope and
+// returns the envelope bytes — the exact bytes Save would write to
+// disk. Use it to carry a checkpoint over a transport other than the
+// filesystem; Decode on the receiving side verifies the same stamps
+// Load would.
+func Encode(kind string, seed, fingerprint uint64, state any) ([]byte, error) {
 	payload, err := json.Marshal(state)
 	if err != nil {
-		return fmt.Errorf("checkpoint: marshaling %s state: %w", kind, err)
+		return nil, fmt.Errorf("checkpoint: marshaling %s state: %w", kind, err)
 	}
 	env := Envelope{
 		Schema:      Schema,
@@ -75,10 +85,56 @@ func Save(path, kind string, seed, fingerprint uint64, state any) error {
 	}
 	raw, err := json.MarshalIndent(&env, "", "  ")
 	if err != nil {
-		return fmt.Errorf("checkpoint: marshaling envelope: %w", err)
+		return nil, fmt.Errorf("checkpoint: marshaling envelope: %w", err)
 	}
-	raw = append(raw, '\n')
+	return append(raw, '\n'), nil
+}
 
+// Decode verifies envelope bytes (integrity, then the kind/seed/
+// fingerprint stamps) and unmarshals the payload into state. It is
+// Load for a checkpoint that never touched a file: ErrCorrupt for
+// damaged bytes, ErrMismatch for a healthy envelope that belongs to a
+// different run.
+func Decode(raw []byte, kind string, seed, fingerprint uint64, state any) error {
+	env, err := decode(raw)
+	if err != nil {
+		return err
+	}
+	if env.Kind != kind {
+		return fmt.Errorf("%w: kind %q, want %q", ErrMismatch, env.Kind, kind)
+	}
+	if env.Seed != seed {
+		return fmt.Errorf("%w: seed %d, want %d", ErrMismatch, env.Seed, seed)
+	}
+	if env.Fingerprint != fingerprint {
+		return fmt.Errorf("%w: config fingerprint %d, want %d (the run's configuration changed)",
+			ErrMismatch, env.Fingerprint, fingerprint)
+	}
+	if err := json.Unmarshal(env.Payload, state); err != nil {
+		return fmt.Errorf("%w: payload does not decode: %v", ErrCorrupt, err)
+	}
+	return nil
+}
+
+// Save marshals state and writes it to path atomically and durably,
+// stamped with kind, seed and fingerprint. An existing file at path is
+// replaced only once the new checkpoint is fully on disk: the temp file
+// is fsynced before the rename and the parent directory after it, so a
+// host crash at any instant leaves a loadable checkpoint (old or new),
+// never a torn one.
+func Save(path, kind string, seed, fingerprint uint64, state any) error {
+	raw, err := Encode(kind, seed, fingerprint, state)
+	if err != nil {
+		return err
+	}
+	return WriteFileAtomic(path, raw)
+}
+
+// WriteFileAtomic replaces path with raw via the durable
+// temp+fsync+rename+dir-fsync dance Save uses. Exported so callers that
+// already hold Encode output (e.g. a checkpoint frame received over the
+// network) can persist it without a decode/re-encode round trip.
+func WriteFileAtomic(path string, raw []byte) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
@@ -90,6 +146,14 @@ func Save(path, kind string, seed, fingerprint uint64, state any) error {
 		os.Remove(tmpName)
 		return fmt.Errorf("checkpoint: writing %s: %w", tmpName, err)
 	}
+	// Sync file content before the rename: the rename must never become
+	// visible ahead of the bytes it names, or a crash between the two
+	// yields a torn checkpoint under the final path.
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("checkpoint: syncing %s: %w", tmpName, err)
+	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmpName)
 		return fmt.Errorf("checkpoint: closing %s: %w", tmpName, err)
@@ -97,6 +161,17 @@ func Save(path, kind string, seed, fingerprint uint64, state any) error {
 	if err := os.Rename(tmpName, path); err != nil {
 		os.Remove(tmpName)
 		return fmt.Errorf("checkpoint: replacing %s: %w", path, err)
+	}
+	// Sync the directory so the rename itself survives a host crash.
+	// Some filesystems refuse fsync on directories; a checkpoint that is
+	// merely less durable there is still atomic, so only real sync
+	// failures are reported.
+	if d, err := os.Open(dir); err == nil {
+		serr := d.Sync()
+		d.Close()
+		if serr != nil && !errors.Is(serr, errors.ErrUnsupported) {
+			return fmt.Errorf("checkpoint: syncing directory %s: %w", dir, serr)
+		}
 	}
 	return nil
 }
@@ -111,22 +186,8 @@ func Load(path, kind string, seed, fingerprint uint64, state any) error {
 	if err != nil {
 		return fmt.Errorf("checkpoint: reading %s: %w", path, err)
 	}
-	env, err := decode(raw)
-	if err != nil {
+	if err := Decode(raw, kind, seed, fingerprint, state); err != nil {
 		return fmt.Errorf("%s: %w", path, err)
-	}
-	if env.Kind != kind {
-		return fmt.Errorf("%w: kind %q, want %q", ErrMismatch, env.Kind, kind)
-	}
-	if env.Seed != seed {
-		return fmt.Errorf("%w: seed %d, want %d", ErrMismatch, env.Seed, seed)
-	}
-	if env.Fingerprint != fingerprint {
-		return fmt.Errorf("%w: config fingerprint %d, want %d (the run's configuration changed)",
-			ErrMismatch, env.Fingerprint, fingerprint)
-	}
-	if err := json.Unmarshal(env.Payload, state); err != nil {
-		return fmt.Errorf("%w: payload does not decode: %v", ErrCorrupt, err)
 	}
 	return nil
 }

@@ -137,6 +137,77 @@ func TestLoadRejectsCorruption(t *testing.T) {
 	}
 }
 
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	want := demo()
+	raw, err := Encode("demo", 7, 42, want)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	var got demoState
+	if err := Decode(raw, "demo", 7, 42, &got); err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	a, _ := json.Marshal(want)
+	b, _ := json.Marshal(got)
+	if string(a) != string(b) {
+		t.Fatalf("round trip changed state:\n encoded %s\n decoded %s", a, b)
+	}
+	// Encode emits the exact bytes Save persists: a checkpoint streamed
+	// over the network and one written to disk are interchangeable.
+	path := filepath.Join(t.TempDir(), "ck.json")
+	if err := Save(path, "demo", 7, 42, want); err != nil {
+		t.Fatal(err)
+	}
+	onDisk, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(onDisk) != string(raw) {
+		t.Error("Save bytes differ from Encode bytes")
+	}
+	// Decode enforces the same stamps Load does.
+	if err := Decode(raw, "other", 7, 42, &got); !errors.Is(err, ErrMismatch) {
+		t.Errorf("wrong kind: err = %v, want ErrMismatch", err)
+	}
+	if err := Decode(raw[:len(raw)/2], "demo", 7, 42, &got); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("truncated bytes: err = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestNoTornPrefixLoadable is the crash-durability contract on the read
+// side: a write torn at any byte — the failure mode the fsync-before-
+// rename discipline exists to prevent, and the one a dying worker host
+// would otherwise hand its successor — must never load as a valid
+// checkpoint. Every strict prefix of a real checkpoint file is tried.
+func TestNoTornPrefixLoadable(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ck.json")
+	if err := Save(path, "demo", 7, 42, demo()); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, _ := json.Marshal(demo())
+	torn := filepath.Join(dir, "torn.json")
+	for cut := 0; cut < len(raw); cut++ {
+		if err := os.WriteFile(torn, raw[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var s demoState
+		if err := Load(torn, "demo", 7, 42, &s); err == nil {
+			// A prefix may load only if it is merely missing trailing
+			// whitespace, i.e. it decodes to exactly the full state —
+			// anything else is a torn checkpoint leaking through.
+			got, _ := json.Marshal(s)
+			if string(got) != string(full) {
+				t.Fatalf("prefix of %d/%d bytes loaded as partial state %s", cut, len(raw), got)
+			}
+		}
+	}
+}
+
 func TestLoadMissingFile(t *testing.T) {
 	var s demoState
 	err := Load(filepath.Join(t.TempDir(), "absent.json"), "demo", 1, 1, &s)

@@ -1,0 +1,100 @@
+package dist
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func ringAddrs(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("http://worker-%d:9090", i)
+	}
+	return out
+}
+
+func TestRingSequenceDeterministicAndComplete(t *testing.T) {
+	addrs := ringAddrs(5)
+	r1 := newHashRing(addrs, 64)
+	// Input order must not matter.
+	shuffled := []string{addrs[3], addrs[0], addrs[4], addrs[2], addrs[1]}
+	r2 := newHashRing(shuffled, 64)
+
+	for i := 0; i < 200; i++ {
+		key := JobKey(uint64(i), uint64(i)*0x9e3779b9)
+		s1 := r1.Sequence(key)
+		s2 := r2.Sequence(key)
+		if !reflect.DeepEqual(s1, s2) {
+			t.Fatalf("key %s: sequence depends on input order:\n%v\n%v", key, s1, s2)
+		}
+		if len(s1) != len(addrs) {
+			t.Fatalf("key %s: sequence has %d workers, want %d", key, len(s1), len(addrs))
+		}
+		seen := map[string]bool{}
+		for _, a := range s1 {
+			if seen[a] {
+				t.Fatalf("key %s: sequence repeats %s", key, a)
+			}
+			seen[a] = true
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	addrs := ringAddrs(4)
+	r := newHashRing(addrs, 64)
+	counts := map[string]int{}
+	const keys = 4000
+	for i := 0; i < keys; i++ {
+		counts[r.Sequence(JobKey(uint64(i), uint64(i)*2654435761))[0]]++
+	}
+	// With 64 vnodes each worker should own a reasonable share of key
+	// space — no worker starved, none hoarding.
+	for _, a := range addrs {
+		share := float64(counts[a]) / keys
+		if share < 0.10 || share > 0.45 {
+			t.Fatalf("worker %s owns %.1f%% of keys; ring is unbalanced: %v", a, 100*share, counts)
+		}
+	}
+}
+
+func TestRingMinimalDisruption(t *testing.T) {
+	all := ringAddrs(5)
+	full := newHashRing(all, 64)
+	removed := all[2]
+	reduced := newHashRing(append(append([]string{}, all[:2]...), all[3:]...), 64)
+
+	moved := 0
+	const keys = 2000
+	for i := 0; i < keys; i++ {
+		key := JobKey(uint64(i), uint64(i)*0x85ebca6b)
+		home := full.Sequence(key)[0]
+		newHome := reduced.Sequence(key)[0]
+		if home == removed {
+			// Orphaned keys must land exactly on their old first failover:
+			// that is what makes failover routing and ring-resize routing
+			// agree, keeping the singleflight cache warm through churn.
+			if want := full.Sequence(key)[1]; newHome != want {
+				t.Fatalf("key %s: orphan moved to %s, want old failover %s", key, newHome, want)
+			}
+			continue
+		}
+		if newHome != home {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Fatalf("%d/%d keys with surviving homes moved when an unrelated worker left", moved, keys)
+	}
+}
+
+func TestRingDedupAndEmpty(t *testing.T) {
+	r := newHashRing([]string{"a", "a", "b"}, 8)
+	if got := r.Sequence("k"); len(got) != 2 {
+		t.Fatalf("dedup failed: %v", got)
+	}
+	if got := newHashRing(nil, 8).Sequence("k"); got != nil {
+		t.Fatalf("empty ring returned %v", got)
+	}
+}

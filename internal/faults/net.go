@@ -1,0 +1,274 @@
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"nodevar/internal/obs"
+	"nodevar/internal/rng"
+)
+
+// Network-fault metrics, the distributed layer's counterpart to the
+// meter-fault counters above.
+var (
+	mNetRefused   = obs.NewCounter("faults.net.refused")
+	mNetDelayed   = obs.NewCounter("faults.net.delayed")
+	mNetTruncated = obs.NewCounter("faults.net.truncated")
+	mNetFlaps     = obs.NewCounter("faults.net.flaps")
+	mNetFlapDown  = obs.NewCounter("faults.net.flap_refused")
+)
+
+// ErrInjectedRefusal is the transport error an injected connection
+// refusal returns; callers see it wrapped in the usual *url.Error.
+var ErrInjectedRefusal = errors.New("faults: injected connection refusal")
+
+// NetSchedule configures deterministic network faults injected at the
+// http.RoundTripper layer: refused connections, added latency,
+// truncated response bodies, and flapping hosts. It is the distributed
+// engine's analogue of Schedule — the same contract applies: the zero
+// value injects nothing, and every random decision derives from Seed,
+// so a sequential request sequence draws an identical fault sequence on
+// every run. (Concurrent requests share the decision stream; which
+// request lands on which decision then depends on arrival order, as
+// with any shared fault source.)
+type NetSchedule struct {
+	// Seed drives every fault decision.
+	Seed uint64
+
+	// RefuseRate is the per-request probability of an injected
+	// connection refusal: the request fails before reaching the
+	// network, like a dial against a dead port.
+	RefuseRate float64
+
+	// LatencyRate is the per-request probability of injected latency;
+	// LatencySec is its duration in seconds (default 0.05). The delay
+	// respects the request context, so a timed-out caller is not held.
+	LatencyRate float64
+	LatencySec  float64
+
+	// TruncateRate is the per-response probability that the body is cut
+	// off partway: reads deliver up to TruncateBytes bytes (drawn
+	// uniformly in [1, TruncateBytes], default cap 4096) and then fail
+	// with an unexpected-EOF, like a peer dying mid-stream.
+	TruncateRate  float64
+	TruncateBytes int
+
+	// FlapRate is the per-request probability that the target host
+	// toggles between up and down. While down, every request to that
+	// host is refused — a worker that keeps dropping off the network
+	// and coming back.
+	FlapRate float64
+}
+
+// Validate checks the schedule.
+func (s NetSchedule) Validate() error {
+	for _, r := range []struct {
+		name string
+		v    float64
+	}{
+		{"RefuseRate", s.RefuseRate},
+		{"LatencyRate", s.LatencyRate},
+		{"TruncateRate", s.TruncateRate},
+		{"FlapRate", s.FlapRate},
+	} {
+		if r.v < 0 || r.v > 1 {
+			return fmt.Errorf("faults: %s %v outside [0, 1]", r.name, r.v)
+		}
+	}
+	switch {
+	case s.LatencySec < 0:
+		return fmt.Errorf("faults: LatencySec %v negative", s.LatencySec)
+	case s.TruncateBytes < 0:
+		return fmt.Errorf("faults: TruncateBytes %d negative", s.TruncateBytes)
+	}
+	return nil
+}
+
+// IsZero reports whether the schedule injects nothing.
+func (s NetSchedule) IsZero() bool {
+	return s.RefuseRate == 0 && s.LatencyRate == 0 && s.TruncateRate == 0 && s.FlapRate == 0
+}
+
+func (s NetSchedule) withNetDefaults() NetSchedule {
+	if s.LatencySec == 0 {
+		s.LatencySec = 0.05
+	}
+	if s.TruncateBytes == 0 {
+		s.TruncateBytes = 4096
+	}
+	return s
+}
+
+// String renders the non-zero entries in a fixed order.
+func (s NetSchedule) String() string {
+	if s.IsZero() {
+		return fmt.Sprintf("seed=%d (no net faults)", s.Seed)
+	}
+	var b []byte
+	b = fmt.Appendf(b, "seed=%d", s.Seed)
+	add := func(name string, v float64) {
+		if v != 0 {
+			b = fmt.Appendf(b, " %s=%g", name, v)
+		}
+	}
+	add("refuse", s.RefuseRate)
+	add("latency", s.LatencyRate)
+	add("latencysec", s.LatencySec)
+	add("truncate", s.TruncateRate)
+	if s.TruncateBytes != 0 {
+		b = fmt.Appendf(b, " truncbytes=%d", s.TruncateBytes)
+	}
+	add("flap", s.FlapRate)
+	return string(b)
+}
+
+// NetCounts is one injector's tally of what it actually did.
+type NetCounts struct {
+	Requests  int64
+	Refused   int64
+	Delayed   int64
+	Truncated int64
+	Flaps     int64
+}
+
+// NetInjector is an http.RoundTripper that applies a NetSchedule in
+// front of a real transport. A zero schedule forwards every request
+// untouched.
+type NetInjector struct {
+	sched NetSchedule
+	next  http.RoundTripper
+
+	mu     sync.Mutex
+	r      *rng.Rand
+	down   map[string]bool // per-host flap state
+	counts NetCounts
+}
+
+// Wrap builds an injector applying s in front of next (defaulting to
+// http.DefaultTransport). The schedule must validate.
+func (s NetSchedule) Wrap(next http.RoundTripper) (*NetInjector, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if next == nil {
+		next = http.DefaultTransport
+	}
+	s = s.withNetDefaults()
+	return &NetInjector{
+		sched: s,
+		next:  next,
+		r:     rng.New(s.Seed),
+		down:  map[string]bool{},
+	}, nil
+}
+
+// Counts snapshots what the injector has done so far.
+func (n *NetInjector) Counts() NetCounts {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.counts
+}
+
+// decision is one request's drawn faults.
+type decision struct {
+	refuse   bool
+	delay    time.Duration
+	truncate int // bytes to deliver before cutting; 0 = no truncation
+}
+
+// draw makes every random decision for one request under the lock, in a
+// fixed order per request so the decision sequence is a pure function
+// of the seed and the request ordinal.
+func (n *NetInjector) draw(host string) decision {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.counts.Requests++
+	var d decision
+	s := n.sched
+	if s.FlapRate > 0 && n.r.Float64() < s.FlapRate {
+		n.down[host] = !n.down[host]
+		n.counts.Flaps++
+		mNetFlaps.Inc()
+	}
+	if n.down[host] {
+		mNetFlapDown.Inc()
+		mNetRefused.Inc()
+		n.counts.Refused++
+		d.refuse = true
+		return d
+	}
+	if s.RefuseRate > 0 && n.r.Float64() < s.RefuseRate {
+		mNetRefused.Inc()
+		n.counts.Refused++
+		d.refuse = true
+		return d
+	}
+	if s.LatencyRate > 0 && n.r.Float64() < s.LatencyRate {
+		d.delay = time.Duration(s.LatencySec * float64(time.Second))
+		n.counts.Delayed++
+		mNetDelayed.Inc()
+	}
+	if s.TruncateRate > 0 && n.r.Float64() < s.TruncateRate {
+		d.truncate = 1 + int(n.r.Float64()*float64(s.TruncateBytes))
+		n.counts.Truncated++
+		mNetTruncated.Inc()
+	}
+	return d
+}
+
+// RoundTrip applies the drawn faults around the wrapped transport.
+func (n *NetInjector) RoundTrip(req *http.Request) (*http.Response, error) {
+	d := n.draw(req.URL.Host)
+	if d.refuse {
+		return nil, fmt.Errorf("faults: %s %s: %w", req.Method, req.URL, ErrInjectedRefusal)
+	}
+	if d.delay > 0 {
+		t := time.NewTimer(d.delay)
+		select {
+		case <-t.C:
+		case <-req.Context().Done():
+			t.Stop()
+			return nil, req.Context().Err()
+		}
+	}
+	resp, err := n.next.RoundTrip(req)
+	if err != nil || d.truncate == 0 {
+		return resp, err
+	}
+	resp.Body = &truncatingBody{rc: resp.Body, remaining: d.truncate}
+	return resp, nil
+}
+
+// truncatingBody delivers at most remaining bytes, then fails the way a
+// connection severed mid-stream does.
+type truncatingBody struct {
+	rc        io.ReadCloser
+	remaining int
+}
+
+func (t *truncatingBody) Read(p []byte) (int, error) {
+	if t.remaining <= 0 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	if len(p) > t.remaining {
+		p = p[:t.remaining]
+	}
+	nr, err := t.rc.Read(p)
+	t.remaining -= nr
+	if err == nil && t.remaining <= 0 {
+		// Report the delivered bytes now; the cut surfaces on the next read.
+		return nr, nil
+	}
+	if errors.Is(err, io.EOF) {
+		// The true body ended within the budget: pass the EOF through so
+		// short responses are untouched.
+		return nr, err
+	}
+	return nr, err
+}
+
+func (t *truncatingBody) Close() error { return t.rc.Close() }

@@ -1,0 +1,216 @@
+package faults
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNetScheduleValidate(t *testing.T) {
+	good := NetSchedule{Seed: 1, RefuseRate: 0.1, LatencyRate: 0.2, TruncateRate: 0.3, FlapRate: 0.05}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bads := []NetSchedule{
+		{RefuseRate: -0.1},
+		{RefuseRate: 1.1},
+		{LatencyRate: 2},
+		{TruncateRate: -1},
+		{FlapRate: 7},
+		{LatencySec: -1},
+		{TruncateBytes: -5},
+	}
+	for i, s := range bads {
+		if err := s.Validate(); err == nil {
+			t.Fatalf("bad schedule %d validated: %+v", i, s)
+		}
+	}
+	if !(NetSchedule{Seed: 9}).IsZero() {
+		t.Fatal("zero-rate schedule not IsZero")
+	}
+	if (NetSchedule{RefuseRate: 0.1}).IsZero() {
+		t.Fatal("non-zero schedule claims IsZero")
+	}
+}
+
+func TestNetZeroScheduleIsPassThrough(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		io.WriteString(rw, "untouched body")
+	}))
+	defer srv.Close()
+
+	inj, err := NetSchedule{Seed: 3}.Wrap(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := &http.Client{Transport: inj}
+	for i := 0; i < 20; i++ {
+		resp, err := client.Get(srv.URL)
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || string(body) != "untouched body" {
+			t.Fatalf("request %d: body %q, err %v", i, body, err)
+		}
+	}
+	c := inj.Counts()
+	if c.Refused+c.Delayed+c.Truncated+c.Flaps != 0 {
+		t.Fatalf("zero schedule injected faults: %+v", c)
+	}
+}
+
+func TestNetRefusalDeterministic(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {}))
+	defer srv.Close()
+
+	run := func() []bool {
+		inj, err := NetSchedule{Seed: 42, RefuseRate: 0.5}.Wrap(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		client := &http.Client{Transport: inj}
+		var outcome []bool
+		for i := 0; i < 40; i++ {
+			resp, err := client.Get(srv.URL)
+			if err != nil {
+				if !errors.Is(err, ErrInjectedRefusal) {
+					t.Fatalf("request %d: unexpected error %v", i, err)
+				}
+				outcome = append(outcome, false)
+				continue
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			outcome = append(outcome, true)
+		}
+		return outcome
+	}
+
+	a, b := run(), run()
+	refused := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("request %d: fault sequence differs between identical runs", i)
+		}
+		if !a[i] {
+			refused++
+		}
+	}
+	if refused == 0 || refused == len(a) {
+		t.Fatalf("RefuseRate 0.5 refused %d/%d requests", refused, len(a))
+	}
+}
+
+func TestNetInjectedLatency(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {}))
+	defer srv.Close()
+
+	inj, err := NetSchedule{Seed: 7, LatencyRate: 1, LatencySec: 0.05}.Wrap(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := &http.Client{Transport: inj}
+	start := time.Now()
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if took := time.Since(start); took < 50*time.Millisecond {
+		t.Fatalf("request took %v, want >= 50ms of injected latency", took)
+	}
+	if inj.Counts().Delayed != 1 {
+		t.Fatalf("Delayed = %d, want 1", inj.Counts().Delayed)
+	}
+}
+
+func TestNetTruncationBreaksLongBodies(t *testing.T) {
+	payload := strings.Repeat("x", 64*1024)
+	srv := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		io.WriteString(rw, payload)
+	}))
+	defer srv.Close()
+
+	inj, err := NetSchedule{Seed: 11, TruncateRate: 1, TruncateBytes: 1024}.Wrap(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := &http.Client{Transport: inj}
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err == nil {
+		t.Fatalf("read %d bytes of %d with no error; truncation never fired", len(body), len(payload))
+	}
+	if len(body) > 1024 {
+		t.Fatalf("delivered %d bytes, budget was 1024", len(body))
+	}
+}
+
+func TestNetTruncationLeavesShortBodiesAlone(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		io.WriteString(rw, "tiny")
+	}))
+	defer srv.Close()
+
+	inj, err := NetSchedule{Seed: 11, TruncateRate: 1, TruncateBytes: 4096}.Wrap(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := &http.Client{Transport: inj}
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil || string(body) != "tiny" {
+		t.Fatalf("short body mangled: %q, %v", body, err)
+	}
+}
+
+func TestNetFlappingHost(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {}))
+	defer srv.Close()
+
+	// FlapRate 1 toggles the host on every request: starting up, the
+	// first request flips it down (refused), the second flips it back up
+	// (served), and so on — a strict alternation.
+	inj, err := NetSchedule{Seed: 5, FlapRate: 1}.Wrap(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := &http.Client{Transport: inj}
+	for i := 0; i < 10; i++ {
+		resp, err := client.Get(srv.URL)
+		wantOK := i%2 == 1
+		if wantOK {
+			if err != nil {
+				t.Fatalf("request %d: %v, want success", i, err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			continue
+		}
+		if err == nil {
+			resp.Body.Close()
+			t.Fatalf("request %d succeeded, want refusal (host down)", i)
+		}
+		if !errors.Is(err, ErrInjectedRefusal) {
+			t.Fatalf("request %d: unexpected error %v", i, err)
+		}
+	}
+	if c := inj.Counts(); c.Flaps != 10 || c.Refused != 5 {
+		t.Fatalf("counts = %+v, want 10 flaps / 5 refusals", c)
+	}
+}

@@ -38,6 +38,13 @@ var (
 // checkpoint.ErrMismatch rather than resume into a different stream.
 const coverageKind = "sampling/coverage-study/v2"
 
+// CoverageCheckpointKind is the checkpoint kind stamp of coverage-study
+// progress, exported so transports that carry checkpoint envelopes
+// between processes (internal/dist workers stream them to the frontend)
+// can verify an envelope belongs to this study formulation before
+// accepting it.
+const CoverageCheckpointKind = coverageKind
+
 // CoverageConfig describes a Figure-3 style bootstrap calibration study.
 type CoverageConfig struct {
 	// Pilot is the observed per-node power dataset (e.g. the 516-node LRZ
@@ -71,11 +78,24 @@ type CoverageConfig struct {
 	// CheckpointEvery is the save cadence in completed chunks (default 8
 	// when Checkpoint is set). A final save also runs on cancellation.
 	CheckpointEvery int
-	// Resume, with Checkpoint set, loads existing progress before
-	// running; only the chunks the checkpoint lacks are executed, and the
-	// final output is bit-identical to an uninterrupted run. A missing
-	// checkpoint file is a fresh start, not an error.
+	// Resume, with Checkpoint or ResumeData set, loads existing progress
+	// before running; only the chunks the checkpoint lacks are executed,
+	// and the final output is bit-identical to an uninterrupted run. A
+	// missing checkpoint file is a fresh start, not an error.
 	Resume bool
+	// ResumeData, with Resume set, is an in-memory checkpoint envelope
+	// (the bytes checkpoint.Encode produced, e.g. a progress frame
+	// streamed from a dying worker) to resume from instead of reading
+	// Checkpoint from disk. It is verified against the study's kind,
+	// seed and fingerprint exactly as a file would be.
+	ResumeData []byte
+	// OnCheckpoint, if set, receives the encoded checkpoint envelope at
+	// every save cadence (including the final flush) — the same bytes
+	// Checkpoint would persist. Workers use it to stream replicate-chunk
+	// progress to a remote supervisor; resuming from the last received
+	// envelope elsewhere is byte-identical to never having died. It runs
+	// under the study's internal lock: keep it fast.
+	OnCheckpoint func(envelope []byte)
 	// OnChunk, if set, is called after each chunk of the current run is
 	// recorded, with the total number of completed chunks (including
 	// resumed ones) and the total chunk count. It runs under the study's
@@ -97,8 +117,8 @@ func (c CoverageConfig) Validate() error {
 		return errors.New("sampling: no confidence levels given")
 	case c.Replicates < 1:
 		return errors.New("sampling: replicates must be positive")
-	case c.Resume && c.Checkpoint == "":
-		return errors.New("sampling: Resume requires a Checkpoint path")
+	case c.Resume && c.Checkpoint == "" && len(c.ResumeData) == 0:
+		return errors.New("sampling: Resume requires a Checkpoint path or ResumeData")
 	}
 	for _, n := range c.SampleSizes {
 		if n < 2 || n > c.Population {
@@ -254,7 +274,12 @@ func CoverageStudyCtx(ctx context.Context, cfg CoverageConfig) ([]CoveragePoint,
 	results := make([]*chunkResult, len(ranges))
 	if cfg.Resume {
 		var prog coverageProgress
-		err := checkpoint.Load(cfg.Checkpoint, coverageKind, cfg.Seed, fp, &prog)
+		var err error
+		if len(cfg.ResumeData) > 0 {
+			err = checkpoint.Decode(cfg.ResumeData, coverageKind, cfg.Seed, fp, &prog)
+		} else {
+			err = checkpoint.Load(cfg.Checkpoint, coverageKind, cfg.Seed, fp, &prog)
+		}
 		switch {
 		case errors.Is(err, os.ErrNotExist):
 			// Fresh start.
@@ -335,14 +360,31 @@ func CoverageStudyCtx(ctx context.Context, cfg CoverageConfig) ([]CoveragePoint,
 		}
 		return prog
 	}
-	// save flushes progress under mu; checkpoint.Save is atomic, so a
-	// crash mid-flush leaves the previous checkpoint intact.
+	// save flushes progress under mu: encoded once, then written to the
+	// checkpoint file (atomically and durably — a crash mid-flush leaves
+	// the previous checkpoint intact) and/or handed to the streaming
+	// callback. Both sinks see the same envelope bytes, so a streamed
+	// frame and a file checkpoint of the same progress are
+	// interchangeable.
 	save := func() {
-		if cfg.Checkpoint == "" {
+		if cfg.Checkpoint == "" && cfg.OnCheckpoint == nil {
 			return
 		}
-		if err := checkpoint.Save(cfg.Checkpoint, coverageKind, cfg.Seed, fp, snapshot()); err != nil && saveErr == nil {
-			saveErr = err
+		env, err := checkpoint.Encode(coverageKind, cfg.Seed, fp, snapshot())
+		if err != nil {
+			if saveErr == nil {
+				saveErr = err
+			}
+			sinceSave = 0
+			return
+		}
+		if cfg.Checkpoint != "" {
+			if err := checkpoint.WriteFileAtomic(cfg.Checkpoint, env); err != nil && saveErr == nil {
+				saveErr = err
+			}
+		}
+		if cfg.OnCheckpoint != nil {
+			cfg.OnCheckpoint(env)
 		}
 		sinceSave = 0
 	}

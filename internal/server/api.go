@@ -180,6 +180,12 @@ type CoverageResponse struct {
 	Seed        uint64              `json:"seed"`
 	Fingerprint string              `json:"fingerprint"`
 	Points      []CoveragePointJSON `json:"points"`
+	// Degraded marks a study computed in-process because no distributed
+	// worker could serve it. The points are still exact — same seed, same
+	// deterministic decomposition — so this is a latency/topology signal,
+	// not a quality one. omitempty keeps healthy-path responses
+	// byte-identical whether or not a worker fleet is configured.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // fingerprintString renders the provenance fingerprint the way manifests

@@ -66,8 +66,11 @@ func newResultCache(max int) *resultCache {
 // Do returns the bytes for key, computing them at most once per flight.
 // ctx is the caller's request context (bounds only this caller's wait);
 // base is the server lifecycle context the computation itself runs on.
-// Failed computations are not cached: the next request retries.
-func (c *resultCache) Do(ctx, base context.Context, key string, compute func(context.Context) ([]byte, error)) ([]byte, cacheStatus, error) {
+// Failed computations are not cached: the next request retries. A
+// compute may also disclaim its own result by returning cacheable=false
+// — a degraded-mode answer is correct for its callers but must not
+// masquerade as the authoritative cached result once the fleet is back.
+func (c *resultCache) Do(ctx, base context.Context, key string, compute func(context.Context) ([]byte, bool, error)) ([]byte, cacheStatus, error) {
 	c.mu.Lock()
 	if b, ok := c.results[key]; ok {
 		c.mu.Unlock()
@@ -141,8 +144,8 @@ func (c *resultCache) Do(ctx, base context.Context, key string, compute func(con
 // no request can observe a completed flight that is neither cached nor
 // in the flights map. An abandoned flight may have been replaced in the
 // map by a successor, so only its own registration is removed.
-func (c *resultCache) run(f *flight, key string, fctx context.Context, compute func(context.Context) ([]byte, error)) {
-	body, err := compute(fctx)
+func (c *resultCache) run(f *flight, key string, fctx context.Context, compute func(context.Context) ([]byte, bool, error)) {
+	body, cacheable, err := compute(fctx)
 	c.mu.Lock()
 	f.mu.Lock()
 	f.body, f.err, f.finished = body, err, true
@@ -150,7 +153,7 @@ func (c *resultCache) run(f *flight, key string, fctx context.Context, compute f
 	if c.flights[key] == f {
 		delete(c.flights, key)
 	}
-	if err == nil {
+	if err == nil && cacheable {
 		c.insert(key, body)
 	}
 	close(f.done)

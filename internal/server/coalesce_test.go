@@ -173,14 +173,14 @@ func TestCanceledFlightNotJoined(t *testing.T) {
 	started := make(chan struct{})
 	release := make(chan struct{})
 	var calls atomic.Int32
-	compute := func(ctx context.Context) ([]byte, error) {
+	compute := func(ctx context.Context) ([]byte, bool, error) {
 		if calls.Add(1) == 1 {
 			close(started)
 			<-ctx.Done() // wait for the abandon to cancel us...
 			<-release    // ...then stall run() so the flight stays registered
-			return nil, ctx.Err()
+			return nil, true, ctx.Err()
 		}
-		return []byte("fresh"), nil
+		return []byte("fresh"), true, nil
 	}
 
 	ctx1, cancel1 := context.WithCancel(base)
@@ -223,8 +223,8 @@ func TestCacheEviction(t *testing.T) {
 	ctx := context.Background()
 	for _, key := range []string{"a", "b", "c"} {
 		key := key
-		_, _, err := c.Do(ctx, ctx, key, func(context.Context) ([]byte, error) {
-			return []byte(key), nil
+		_, _, err := c.Do(ctx, ctx, key, func(context.Context) ([]byte, bool, error) {
+			return []byte(key), true, nil
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -234,14 +234,40 @@ func TestCacheEviction(t *testing.T) {
 		t.Errorf("cache holds %d entries, want 2", c.Len())
 	}
 	// "a" was evicted: recomputing it is a miss, "c" is still a hit.
-	if _, status, _ := c.Do(ctx, ctx, "c", func(context.Context) ([]byte, error) {
-		return []byte("c2"), nil
+	if _, status, _ := c.Do(ctx, ctx, "c", func(context.Context) ([]byte, bool, error) {
+		return []byte("c2"), true, nil
 	}); status != cacheHit {
 		t.Errorf(`"c" status %q, want hit`, status)
 	}
-	if _, status, _ := c.Do(ctx, ctx, "a", func(context.Context) ([]byte, error) {
-		return []byte("a2"), nil
+	if _, status, _ := c.Do(ctx, ctx, "a", func(context.Context) ([]byte, bool, error) {
+		return []byte("a2"), true, nil
 	}); status != cacheMiss {
 		t.Errorf(`"a" status %q, want miss after eviction`, status)
+	}
+}
+
+// TestUncacheableResultNotStored pins the degraded-mode contract: a
+// compute that disclaims its result (cacheable=false) still answers its
+// own waiters, but the next request recomputes instead of hitting.
+func TestUncacheableResultNotStored(t *testing.T) {
+	c := newResultCache(4)
+	ctx := context.Background()
+	var calls atomic.Int32
+	compute := func(context.Context) ([]byte, bool, error) {
+		calls.Add(1)
+		return []byte("degraded"), false, nil
+	}
+	body, status, err := c.Do(ctx, ctx, "k", compute)
+	if err != nil || string(body) != "degraded" || status != cacheMiss {
+		t.Fatalf("first call: body %q status %q err %v", body, status, err)
+	}
+	if _, status, _ = c.Do(ctx, ctx, "k", compute); status != cacheMiss {
+		t.Fatalf("second call status %q, want miss (uncacheable result was stored)", status)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("cache holds %d entries, want 0", c.Len())
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("computations = %d, want 2", calls.Load())
 	}
 }

@@ -148,7 +148,7 @@ func (s *Server) handleCoverage(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := coverageKey(norm, cfg)
-	body, status, err := s.cache.Do(r.Context(), s.base, key, func(ctx context.Context) ([]byte, error) {
+	body, status, err := s.cache.Do(r.Context(), s.base, key, func(ctx context.Context) ([]byte, bool, error) {
 		return s.computeCoverage(ctx, norm, cfg)
 	})
 	w.Header().Set("X-Cache", string(status))
@@ -166,21 +166,35 @@ func (s *Server) handleCoverage(w http.ResponseWriter, r *http.Request) {
 	writeBody(w, http.StatusOK, body)
 }
 
-// computeCoverage executes one coalesced study: run, marshal once (the
-// cached bytes every caller receives), and record a manifest-v3 run
-// record carrying the same seed/fingerprint provenance a CLI run would.
-func (s *Server) computeCoverage(ctx context.Context, norm CoverageRequest, cfg sampling.CoverageConfig) ([]byte, error) {
+// computeCoverage executes one coalesced study: run (on the worker
+// fleet when one is configured, in-process otherwise), marshal once
+// (the cached bytes every caller receives), and record a manifest-v3
+// run record carrying the same seed/fingerprint provenance a CLI run
+// would. The returned bool is the cacheable flag for resultCache.Do: a
+// degraded-mode answer (fleet unreachable, computed locally) serves its
+// waiters but is not stored, so the Degraded marker disappears as soon
+// as the fleet can answer again.
+func (s *Server) computeCoverage(ctx context.Context, norm CoverageRequest, cfg sampling.CoverageConfig) ([]byte, bool, error) {
 	sp, ctx := obs.StartSpanCtx(ctx, "server", "coverage_compute")
 	defer sp.End()
 	if s.coverageGate != nil {
 		if err := s.coverageGate(ctx); err != nil {
-			return nil, err
+			return nil, false, err
 		}
 	}
 	start := time.Now()
-	points, err := sampling.CoverageStudyCtx(ctx, cfg)
+	var (
+		points   []sampling.CoveragePoint
+		degraded bool
+		err      error
+	)
+	if s.dist != nil {
+		points, degraded, err = s.dist.Coverage(ctx, cfg)
+	} else {
+		points, err = sampling.CoverageStudyCtx(ctx, cfg)
+	}
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	hStudy.Observe(time.Since(start).Seconds())
 
@@ -189,6 +203,7 @@ func (s *Server) computeCoverage(ctx context.Context, norm CoverageRequest, cfg 
 		Seed:        cfg.Seed,
 		Fingerprint: fingerprintString(cfg.Fingerprint()),
 		Points:      make([]CoveragePointJSON, 0, len(points)),
+		Degraded:    degraded,
 	}
 	for _, p := range points {
 		resp.Points = append(resp.Points, CoveragePointJSON{
@@ -201,10 +216,10 @@ func (s *Server) computeCoverage(ctx context.Context, norm CoverageRequest, cfg 
 	}
 	body, err := json.Marshal(resp)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	s.writeCoverageManifest(ctx, norm, cfg, start)
-	return body, nil
+	return body, !degraded, nil
 }
 
 // writeCoverageManifest records one computed study as a manifest-v3 run

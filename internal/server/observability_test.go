@@ -257,10 +257,13 @@ func TestReadinessDegradesUnderShedStorm(t *testing.T) {
 
 // TestRetryAfterDerivedFromLatency seeds an endpoint's 2xx histogram
 // with slow observations and expects the shed hint to reflect the p50
-// instead of the old hard-coded 1s.
+// instead of the old hard-coded 1s. The endpoint labels are private to
+// this test: histogram vec children are global per label set, so using
+// a real endpoint name ("coverage") would make the expected p50 depend
+// on how many 200s earlier tests in the package happened to serve.
 func TestRetryAfterDerivedFromLatency(t *testing.T) {
 	s := New(Config{})
-	ep := s.endpoint("coverage")
+	ep := s.endpoint("retrytest-p50")
 	for i := 0; i < 100; i++ {
 		ep.latency[classIdx(http.StatusOK)].Observe(4.2)
 	}
@@ -270,7 +273,7 @@ func TestRetryAfterDerivedFromLatency(t *testing.T) {
 		t.Fatalf("retry-after %d, want ceil(interpolated p50) = 3", got)
 	}
 	// Clamped at 30 even for pathological latency.
-	ep2 := s.endpoint("samplesize")
+	ep2 := s.endpoint("retrytest-clamp")
 	for i := 0; i < 100; i++ {
 		ep2.latency[classIdx(http.StatusOK)].Observe(300)
 	}
@@ -278,7 +281,7 @@ func TestRetryAfterDerivedFromLatency(t *testing.T) {
 		t.Fatalf("retry-after %d, want clamp 30", got)
 	}
 	// No traffic yet: conservative 1s.
-	ep3 := s.endpoint("rules")
+	ep3 := s.endpoint("retrytest-cold")
 	if got := ep3.retryAfterSecs(); got != 1 {
 		t.Fatalf("retry-after %d with no data, want 1", got)
 	}

@@ -28,6 +28,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"nodevar/internal/dist"
 	"nodevar/internal/fleet"
 	"nodevar/internal/obs"
 )
@@ -122,6 +123,14 @@ type Config struct {
 	FleetWindow time.Duration
 	// IngestMaxBatch caps samples per /v1/ingest batch. Default 4096.
 	IngestMaxBatch int
+	// Dist, when non-nil, routes coverage studies onto a worker fleet
+	// instead of computing them in-process: the frontend consistent-hashes
+	// each study's (seed, fingerprint) identity onto the fleet, streams
+	// checkpointed progress back, and fails over — or degrades to local
+	// compute — when workers die. The result cache then acts as this
+	// node's L1 over the fleet's compute tier. Degraded-mode responses
+	// carry CoverageResponse.Degraded and are never cached.
+	Dist *dist.Frontend
 }
 
 // defaultSLOTargets are the built-in per-endpoint latency targets in
@@ -158,6 +167,7 @@ type Server struct {
 	base     context.Context
 	sem      chan struct{}
 	cache    *resultCache
+	dist     *dist.Frontend
 	fleets   *fleet.Registry
 	traces   *obs.TraceStore
 	inflight atomic.Int64
@@ -250,6 +260,7 @@ func New(cfg Config) *Server {
 		base:      cfg.BaseContext,
 		sem:       make(chan struct{}, cfg.MaxConcurrent),
 		cache:     newResultCache(cfg.CacheEntries),
+		dist:      cfg.Dist,
 		endpoints: map[string]*endpointObs{},
 	}
 	s.fleets = fleet.NewRegistry(cfg.MaxFleets, fleet.Config{Window: cfg.FleetWindow})
