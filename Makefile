@@ -7,8 +7,9 @@ CHAOS_FAULTS ?= drop=0.02,stuck=0.01,glitch=0.01,jitter=0.1,meterdrop=0.05,noded
 
 FLEET_FUZZTIME ?= 30s
 DIST_FUZZTIME ?= 30s
+METER_FUZZTIME ?= 30s
 
-.PHONY: build test vet race race-obs check bench trace repro fuzz-smoke cover-check chaos interrupt vuln serve loadcheck obs-serve-check fleet-check dist-check
+.PHONY: build test vet race race-obs check bench trace repro fuzz-smoke cover-check chaos interrupt vuln serve loadcheck obs-serve-check fleet-check dist-check meter-check
 
 build:
 	$(GO) build ./...
@@ -138,6 +139,18 @@ dist-check:
 	$(GO) test -race -count=1 -run TestDistFailoverE2E .
 	NODEVAR_DIST_SCALE=1 $(GO) test -count=1 -run TestDistScalingGate .
 	$(GO) test -run='^$$' -fuzz=FuzzJobDecode -fuzztime=$(DIST_FUZZTIME) ./internal/dist
+
+# The meter-model gate: the instrument stack (drift-free sampling grid,
+# quantizer rounding, windowed/OCC architectures), the workload layer it
+# measures, and the methodology distortion comparison, all under the
+# race detector, then the spec and model fuzz targets (arbitrary specs
+# and windows: no panics, exact sample grids, bounded averages). go test
+# accepts one -fuzz target per invocation, hence the separate runs.
+meter-check:
+	$(GO) test -race -count=1 ./internal/meter ./internal/workload ./internal/methodology ./internal/systems
+	$(GO) test -race -count=1 -run 'TestMeters|TestDistortion' ./internal/server
+	$(GO) test -run='^$$' -fuzz=FuzzMeterSpec -fuzztime=$(METER_FUZZTIME) ./internal/meter
+	$(GO) test -run='^$$' -fuzz=FuzzMeterModels -fuzztime=$(METER_FUZZTIME) ./internal/meter
 
 # The load-shedding/coalescing gate: ~120 concurrent identical coverage
 # requests against a lowered concurrency limit, under the race detector.

@@ -61,6 +61,7 @@ func realMain() int {
 		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "grace for in-flight requests after a shutdown signal")
 		maxReplicates = flag.Int("max-replicates", 200000, "largest /v1/coverage replicate count accepted")
 		maxPopulation = flag.Int("max-population", 1_000_000_000, "sanity cap on the /v1/coverage simulated machine size (the count-based study never materializes it)")
+		maxDistNodes  = flag.Int("max-distortion-nodes", 256, "largest simulated cluster a /v1/distortion meter study may ask for (one power trace per node)")
 		cacheEntries  = flag.Int("cache-entries", 128, "completed coverage results kept in memory")
 		manifestDir   = flag.String("manifest-dir", "", "write one manifest-v3 run record per computed coverage study here")
 		traceRing     = flag.Int("trace-ring", 256, "recent request traces retained for GET /v1/trace/{id}; 0 disables request tracing")
@@ -137,20 +138,21 @@ func realMain() int {
 	baseCtx, baseCancel := context.WithCancel(context.Background())
 	defer baseCancel()
 	cfg := server.Config{
-		MaxConcurrent:  *maxConc,
-		RequestTimeout: *reqTimeout,
-		MaxReplicates:  *maxReplicates,
-		MaxPopulation:  *maxPopulation,
-		CacheEntries:   *cacheEntries,
-		ManifestDir:    *manifestDir,
-		BaseContext:    baseCtx,
-		Log:            run.Log,
-		TraceCapacity:  *traceRing,
-		DisableTracing: *traceRing <= 0,
-		SLOObjective:   *sloObjective,
-		MaxFleets:      *maxFleets,
-		FleetWindow:    *fleetWindow,
-		IngestMaxBatch: *ingestBatch,
+		MaxConcurrent:      *maxConc,
+		RequestTimeout:     *reqTimeout,
+		MaxReplicates:      *maxReplicates,
+		MaxPopulation:      *maxPopulation,
+		MaxDistortionNodes: *maxDistNodes,
+		CacheEntries:       *cacheEntries,
+		ManifestDir:        *manifestDir,
+		BaseContext:        baseCtx,
+		Log:                run.Log,
+		TraceCapacity:      *traceRing,
+		DisableTracing:     *traceRing <= 0,
+		SLOObjective:       *sloObjective,
+		MaxFleets:          *maxFleets,
+		FleetWindow:        *fleetWindow,
+		IngestMaxBatch:     *ingestBatch,
 	}
 	if *accessLogs {
 		// Access logs share the run logger, so -log-format json yields

@@ -19,6 +19,7 @@ import (
 	"nodevar/internal/methodology"
 	"nodevar/internal/power"
 	"nodevar/internal/report"
+	"nodevar/internal/rng"
 	"nodevar/internal/systems"
 )
 
@@ -32,6 +33,9 @@ func realMain() int {
 		samples    = flag.Int("samples", 2000, "trace resolution")
 		csvPath    = flag.String("csv", "", "write the trace as CSV to this path")
 		list       = flag.Bool("list", false, "list available systems")
+		meterKey   = flag.String("meter", "", "re-measure the simulated trace through a meter preset (see -list-meters)")
+		meterSeed  = flag.Uint64("meter-seed", 2015, "seed for the -meter instrument draw")
+		listMeters = flag.Bool("list-meters", false, "list available meter presets")
 		analyze    = flag.String("analyze", "", "analyze a time,power CSV trace instead of simulating")
 		obsFlags   = cli.RegisterObsFlags()
 		faultFlags = cli.RegisterFaultFlags()
@@ -72,6 +76,14 @@ func realMain() int {
 				hasTrace = "yes"
 			}
 			t.AddRow(s.Key, s.Name, s.Site, fmt.Sprint(s.TotalNodes), hasTrace)
+		}
+		return run.Close(t.WriteText(os.Stdout))
+	}
+
+	if *listMeters {
+		t := report.NewTable("Available meter presets", "Key", "Architecture", "Description")
+		for _, p := range systems.MeterPresets() {
+			t.AddRow(p.Key, p.Model.ModelName(), p.Description)
 		}
 		return run.Close(t.WriteText(os.Stdout))
 	}
@@ -124,6 +136,30 @@ func realMain() int {
 	fmt.Printf("  Level-1 gaming:     best window [%.0f s, %.0f s] reports %.1f%% less power (+%.1f%% efficiency)\n",
 		gaming.WindowLo, gaming.WindowHi, gaming.PowerReduction*100, gaming.EfficiencyGain*100)
 	printDegraded(frep, sanitized)
+
+	if *meterKey != "" {
+		preset, err := systems.MeterByKey(*meterKey)
+		if err != nil {
+			return run.Close(err)
+		}
+		run.SetConfig("meter", preset.Key)
+		run.SetConfig("meter_seed", *meterSeed)
+		inst, err := preset.Model.NewInstrument(rng.New(*meterSeed))
+		if err != nil {
+			return run.Close(err)
+		}
+		trueAvg, err := tr.AverageBetween(tr.Start(), tr.End())
+		if err != nil {
+			return run.Close(err)
+		}
+		reported, err := inst.AveragePower(tr, tr.Start(), tr.End())
+		if err != nil {
+			return run.Close(err)
+		}
+		shift := (float64(reported) - float64(trueAvg)) / float64(trueAvg)
+		fmt.Printf("  meter %-12s  reports %.1f kW vs true %.1f kW (%+.2f%% — %s architecture)\n",
+			preset.Key+":", reported.Kilowatts(), trueAvg.Kilowatts(), shift*100, preset.Model.ModelName())
+	}
 
 	if *csvPath != "" {
 		f, err := os.Create(*csvPath)

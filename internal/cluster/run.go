@@ -88,12 +88,30 @@ type RunResult struct {
 	fan     []float64 // controller fan power at each tick (scale 1.0)
 }
 
-// Run simulates the workload's core phase on the cluster.
+// spanner is the optional extension a Load implements when its full job
+// span exceeds its core phase (workload.Phased: setup + core +
+// teardown). Simulators cover the total span so setup/teardown power
+// appears in the trace; pure core-phase loads are unaffected.
+type spanner interface {
+	TotalDuration() float64
+}
+
+// loadSpan returns the simulation span for a load: its TotalDuration
+// when it distinguishes one, else its core duration.
+func loadSpan(load Load) float64 {
+	if s, ok := load.(spanner); ok {
+		return s.TotalDuration()
+	}
+	return load.CoreDuration()
+}
+
+// Run simulates the workload's full span on the cluster (the core phase
+// alone for plain workloads; setup through teardown for phased ones).
 func Run(c *Cluster, load Load, opts RunOptions) (*RunResult, error) {
 	if err := opts.fill(); err != nil {
 		return nil, err
 	}
-	duration := load.CoreDuration()
+	duration := loadSpan(load)
 	if duration <= 0 {
 		return nil, errors.New("cluster: workload has non-positive core duration")
 	}

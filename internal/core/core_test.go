@@ -18,13 +18,14 @@ func fastOptions() Options {
 
 func TestIDsStableAndComplete(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 13 {
+	if len(ids) != 14 {
 		t.Fatalf("experiment count = %d", len(ids))
 	}
 	want := map[ID]bool{
 		Table1: true, Table2: true, Table3: true, Table4: true, Table5: true,
 		Figure1: true, Figure2: true, Figure3: true, Figure4: true,
 		Gaming: true, Rules: true, Ablation: true, VarianceDecomp: true,
+		Meters: true,
 	}
 	for _, id := range ids {
 		if !want[id] {

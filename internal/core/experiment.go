@@ -45,6 +45,7 @@ const (
 	Figure4 ID = "figure4"
 	Gaming  ID = "gaming"
 	Rules   ID = "rules"
+	Meters  ID = "meters"
 )
 
 // Options configures experiment execution.
@@ -127,6 +128,7 @@ var registry = map[ID]Runner{
 	Figure4: runFigure4,
 	Gaming:  runGaming,
 	Rules:   runRules,
+	Meters:  runMeters,
 }
 
 // IDs returns every experiment id in a stable order.

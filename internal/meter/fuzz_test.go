@@ -1,0 +1,177 @@
+package meter
+
+import (
+	"math"
+	"testing"
+
+	"nodevar/internal/power"
+	"nodevar/internal/rng"
+)
+
+// fuzzTrace is one shared 600 s ramp trace: enough structure that a
+// broken sampler misreads it, cheap enough to reuse across fuzz
+// executions.
+var fuzzTrace = func() *power.Trace {
+	samples := make([]power.Sample, 0, 601)
+	for x := 0.0; x <= 600; x++ {
+		samples = append(samples, power.Sample{Time: x, Power: power.Watts(400 + x/3)})
+	}
+	tr, err := power.NewTrace(samples)
+	if err != nil {
+		panic(err)
+	}
+	return tr
+}()
+
+// FuzzMeterSpec drives arbitrary periodic-meter specs and measurement
+// windows through Validate and Measure. Invariants: a spec Validate
+// accepts never panics or errors on a well-formed window (beyond the
+// sample-count guard), sample times are strictly increasing, every
+// sample lies inside [a, b], the first sample is exactly a, the last is
+// exactly b, and every interior time is exactly a + i×period (the
+// drift-free grid).
+func FuzzMeterSpec(f *testing.F) {
+	f.Add(0.01, 0.002, 1.0, 1.0, 0.0, 600.0, uint64(1))
+	f.Add(0.0, 0.0, 0.0, 0.0, 0.0, 600.0, uint64(2))       // reference
+	f.Add(0.05, 0.01, 10.0, 0.3, 17.25, 433.75, uint64(3)) // non-integer grid
+	f.Add(0.0, 0.0, 0.0, 1e-9, 0.0, 600.0, uint64(4))      // pathological period
+	f.Add(0.01, 0.0, 1.0, 600.0, 0.0, 600.0, uint64(5))    // one-sample window
+
+	f.Fuzz(func(t *testing.T, gainCV, noiseCV, q, period, a, b float64, seed uint64) {
+		spec := Spec{
+			GainErrorCV:     gainCV,
+			NoiseCV:         noiseCV,
+			ResolutionWatts: q,
+			SamplePeriod:    period,
+		}
+		if spec.Validate() != nil {
+			return
+		}
+		m, err := New(spec, rng.New(seed))
+		if err != nil {
+			t.Fatalf("New rejected a validated spec: %v", err)
+		}
+		// Clamp the window into the trace; skip degenerate or non-finite
+		// windows (Measure rejects those by contract).
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return
+		}
+		a = math.Min(math.Max(a, 0), 600)
+		b = math.Min(math.Max(b, 0), 600)
+		if !(a < b) {
+			return
+		}
+		got, err := m.Measure(fuzzTrace, a, b)
+		if err != nil {
+			// The only legitimate failure on a well-formed window is the
+			// sample-count guard for tiny periods.
+			if spec.SamplePeriod > 0 && (b-a)/spec.SamplePeriod > float64(maxMeasureSamples) {
+				return
+			}
+			t.Fatalf("Measure(%v, %v) spec=%+v: %v", a, b, spec, err)
+		}
+		samples := got.Samples()
+		if len(samples) == 0 {
+			t.Fatalf("Measure returned no samples for [%v, %v]", a, b)
+		}
+		period = spec.SamplePeriod
+		if period <= 0 {
+			period = 1
+		}
+		if samples[0].Time != a {
+			t.Fatalf("first sample at %v, want exactly %v", samples[0].Time, a)
+		}
+		if last := samples[len(samples)-1].Time; last != b {
+			t.Fatalf("last sample at %v, want exactly %v", last, b)
+		}
+		for i, s := range samples {
+			if s.Time < a || s.Time > b {
+				t.Fatalf("sample %d at %v outside [%v, %v]", i, s.Time, a, b)
+			}
+			// All but the trailing endpoint sample sit on the drift-free
+			// index grid.
+			if want := a + float64(i)*period; i < len(samples)-1 && s.Time != want {
+				t.Fatalf("sample %d at %v, want drift-free grid point %v", i, s.Time, want)
+			}
+			if i > 0 && s.Time <= samples[i-1].Time {
+				t.Fatalf("sample times not strictly increasing at %d: %v then %v", i, samples[i-1].Time, s.Time)
+			}
+			if math.IsNaN(float64(s.Power)) || math.IsInf(float64(s.Power), 0) {
+				t.Fatalf("sample %d power %v is not finite", i, s.Power)
+			}
+			if s.Power < 0 {
+				t.Fatalf("sample %d power %v is negative", i, s.Power)
+			}
+		}
+	})
+}
+
+// FuzzMeterModels drives the windowed and OCC architectures with
+// arbitrary parameters: any spec Validate accepts must measure a flat
+// window without panicking, and the reported average must stay inside
+// the error budget the spec itself implies.
+func FuzzMeterModels(f *testing.F) {
+	f.Add(10.0, 1.0, true, 0.005, 1.0, 1.0, 0.01, 0.005, 2.0, uint64(1))
+	f.Add(1.0, 0.0, false, 0.0, 0.0, 7.0, 0.0, 0.0, 0.0, uint64(2))
+	f.Add(60.0, 60.0, true, 0.1, 100.0, 0.25, 0.05, 0.02, 16.0, uint64(3))
+
+	f.Fuzz(func(t *testing.T, wPeriod, wWindow float64, jitter bool, wNoise, wQ,
+		bucket, occGain, envelope, occQ float64, seed uint64) {
+		ws := WindowedSpec{
+			Period:          wPeriod,
+			Window:          wWindow,
+			PhaseJitter:     jitter,
+			NoiseCV:         wNoise,
+			ResolutionWatts: wQ,
+		}
+		if ws.Validate() == nil {
+			inst, err := ws.NewInstrument(rng.New(seed))
+			if err != nil {
+				t.Fatalf("windowed NewInstrument rejected a validated spec: %v", err)
+			}
+			checkFuzzAverage(t, "windowed", inst, 2*ws.NoiseCV+ws.ResolutionWatts/500)
+		}
+		os := OCCSpec{
+			BucketSeconds:          bucket,
+			GainErrorCV:            occGain,
+			EnvelopeFrac:           envelope,
+			ReadoutResolutionWatts: occQ,
+		}
+		if os.Validate() == nil {
+			inst, err := os.NewInstrument(rng.New(seed))
+			if err != nil {
+				t.Fatalf("occ NewInstrument rejected a validated spec: %v", err)
+			}
+			checkFuzzAverage(t, "occ", inst, 6*os.GainErrorCV+os.EnvelopeFrac+os.ReadoutResolutionWatts/500)
+		}
+	})
+}
+
+// checkFuzzAverage measures the ramp trace over its middle and asserts
+// the report is finite, non-negative, and within slack (relative) of
+// the true window average — architecture distortion plus the spec's own
+// stochastic terms, never garbage. A register coarser than the signal
+// legitimately reports 0 W; the slack term (resolution-scaled) admits
+// exactly that case.
+func checkFuzzAverage(t *testing.T, name string, inst Sampler, slack float64) {
+	t.Helper()
+	const lo, hi = 60, 540
+	avg, err := inst.AveragePower(fuzzTrace, lo, hi)
+	if err != nil {
+		t.Fatalf("%s AveragePower: %v", name, err)
+	}
+	truth, err := fuzzTrace.AverageBetween(lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := float64(avg)
+	if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+		t.Fatalf("%s reported %v", name, v)
+	}
+	// The ramp moves ±30% around its window mean; a sampler can at worst
+	// land entirely on one end of it. Anything beyond ramp swing + spec
+	// error budget means the architecture mis-integrated the window.
+	if rel := math.Abs(v-float64(truth)) / float64(truth); rel > 0.35+slack {
+		t.Fatalf("%s average %v vs truth %v (rel err %.3f > %.3f)", name, v, truth, rel, 0.35+slack)
+	}
+}

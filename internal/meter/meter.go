@@ -9,6 +9,7 @@ package meter
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"nodevar/internal/obs"
 	"nodevar/internal/power"
@@ -41,6 +42,9 @@ type Spec struct {
 // Validate checks the spec.
 func (s Spec) Validate() error {
 	switch {
+	case !finite(s.GainErrorCV) || !finite(s.NoiseCV) ||
+		!finite(s.ResolutionWatts) || !finite(s.SamplePeriod):
+		return errors.New("meter: spec fields must be finite")
 	case s.GainErrorCV < 0 || s.GainErrorCV > 0.1:
 		return fmt.Errorf("meter: GainErrorCV %v outside [0, 0.1]", s.GainErrorCV)
 	case s.NoiseCV < 0 || s.NoiseCV > 0.1:
@@ -51,6 +55,13 @@ func (s Spec) Validate() error {
 		return errors.New("meter: SamplePeriod must be non-negative")
 	}
 	return nil
+}
+
+// finite reports whether v is neither NaN nor infinite. NaN fails every
+// ordered comparison, so without this guard a NaN field would sail
+// through the range checks above.
+func finite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
 }
 
 // Reference is a perfect instrument: no gain error, noise or quantization,
@@ -86,32 +97,93 @@ func (m *Meter) Gain() float64 { return m.gain }
 
 // reading passes one true power value through the instrument pipeline.
 func (m *Meter) reading(true_ power.Watts) power.Watts {
-	v := float64(true_) * m.gain
-	if m.spec.NoiseCV > 0 {
-		v *= m.r.Normal(1, m.spec.NoiseCV)
+	return pipeline(float64(true_), m.gain, m.spec.NoiseCV, m.spec.ResolutionWatts, m.r)
+}
+
+// pipeline applies the shared instrument error chain — fixed gain,
+// per-reading multiplicative noise, quantization, zero clamp — to one
+// true power value. Every meter architecture reports through it.
+//
+// Quantization uses math.Round (half away from zero), which is exact:
+// the previous float64(int64(v/q+0.5)) idiom truncated toward zero, so
+// negative excursions rounded inconsistently around zero and values
+// with v/q+0.5 beyond int64 range collapsed to an implementation-defined
+// integer (0 after the clamp on amd64) instead of the nearest step.
+func pipeline(v, gain, noiseCV, q float64, r *rng.Rand) power.Watts {
+	v *= gain
+	if noiseCV > 0 {
+		v *= r.Normal(1, noiseCV)
 	}
-	if q := m.spec.ResolutionWatts; q > 0 {
-		v = float64(int64(v/q+0.5)) * q
+	if q > 0 {
+		v = math.Round(v/q) * q
 	}
-	if v < 0 {
+	if v <= 0 {
+		// The clamp also normalizes math.Round's negative zero, so
+		// reported zero readings are always bit-identical +0.
 		v = 0
 	}
 	return power.Watts(v)
 }
 
-// Measure samples the true trace over [a, b] at the instrument's period
-// and returns the reported trace. The window must lie within the trace.
-func (m *Meter) Measure(tr *power.Trace, a, b float64) (*power.Trace, error) {
-	if a >= b {
-		return nil, fmt.Errorf("meter: empty measurement window [%v, %v]", a, b)
+// maxMeasureSamples bounds one Measure call's output. Multi-day windows
+// at sub-second periods stay far below it; it exists so a degenerate
+// period (e.g. 1e-300 from a fuzzer or a typo'd config) is an error
+// instead of an allocation storm.
+const maxMeasureSamples = 50_000_000
+
+// checkWindow validates a measurement window against the trace span.
+// The !(a < b) form also rejects NaN bounds.
+func checkWindow(tr *power.Trace, a, b float64) error {
+	if !(a < b) {
+		return fmt.Errorf("meter: empty measurement window [%v, %v]", a, b)
 	}
 	if a < tr.Start()-1e-9 || b > tr.End()+1e-9 {
-		return nil, fmt.Errorf("meter: window [%v, %v] outside trace span [%v, %v]",
+		return fmt.Errorf("meter: window [%v, %v] outside trace span [%v, %v]",
 			a, b, tr.Start(), tr.End())
 	}
-	out := make([]power.Sample, 0, int((b-a)/m.spec.SamplePeriod)+2)
+	return nil
+}
+
+// gridSize returns how many samples the grid a + i*period places in
+// [a, b): the largest n with a + (n-1)*period < b - eps, where eps is a
+// fraction of one period so a final grid point landing within epsilon of
+// b is deferred to the explicit endpoint sample instead of duplicated.
+func gridSize(a, b, period float64) (int, error) {
+	span := b - a
+	if steps := span / period; !(steps < maxMeasureSamples) {
+		return 0, fmt.Errorf("meter: window %v at period %v exceeds %d samples", span, period, maxMeasureSamples)
+	}
+	eps := period * 1e-9
+	n := int(span/period) + 1
+	for a+float64(n)*period < b-eps {
+		n++
+	}
+	for n > 1 && a+float64(n-1)*period >= b-eps {
+		n--
+	}
+	return n, nil
+}
+
+// Measure samples the true trace over [a, b] at the instrument's period
+// and returns the reported trace. The window must lie within the trace.
+//
+// Sample times are exactly a + i*period (each computed from the index,
+// never accumulated), so they cannot drift off the grid over long
+// windows, and the final sample at b never has a near-duplicate
+// predecessor from accumulated float error.
+func (m *Meter) Measure(tr *power.Trace, a, b float64) (*power.Trace, error) {
+	if err := checkWindow(tr, a, b); err != nil {
+		return nil, err
+	}
+	period := m.spec.SamplePeriod
+	n, err := gridSize(a, b, period)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]power.Sample, 0, n+1)
 	cur := tr.Cursor() // sample times only increase, so read sequentially
-	for x := a; x < b; x += m.spec.SamplePeriod {
+	for i := 0; i < n; i++ {
+		x := a + float64(i)*period
 		out = append(out, power.Sample{Time: x, Power: m.reading(cur.At(x))})
 	}
 	out = append(out, power.Sample{Time: b, Power: m.reading(cur.At(b))})

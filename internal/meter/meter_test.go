@@ -1,6 +1,7 @@
 package meter
 
 import (
+	"errors"
 	"math"
 	"testing"
 
@@ -250,5 +251,216 @@ func TestNegativeReadingsClampToZero(t *testing.T) {
 		if s.Power < 0 {
 			t.Fatalf("negative reading %v", s.Power)
 		}
+	}
+}
+
+func TestSpecValidateRejectsNonFinite(t *testing.T) {
+	nan := math.NaN()
+	inf := math.Inf(1)
+	bad := []Spec{
+		{SamplePeriod: nan},
+		{SamplePeriod: inf},
+		{GainErrorCV: nan, SamplePeriod: 1},
+		{NoiseCV: nan, SamplePeriod: 1},
+		{ResolutionWatts: inf, SamplePeriod: 1},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("non-finite spec %d accepted", i)
+		}
+	}
+}
+
+// TestMeasureGridNoDrift is the regression test for the accumulating
+// sample clock: with period 0.1 over a long window, x += period drifted
+// off the a+i*period grid within a few thousand samples and emitted a
+// near-duplicate penultimate sample just below b. Every reported time
+// must be bit-identical to a + i*period.
+func TestMeasureGridNoDrift(t *testing.T) {
+	const dur = 100000.0
+	period := 0.1
+	m, err := New(Spec{SamplePeriod: period}, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := flatTrace(t, 100, dur)
+	measured, err := m.Measure(tr, 0, dur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := measured.Samples()
+	last := samples[len(samples)-1]
+	if last.Time != dur {
+		t.Fatalf("final sample at %v, want %v", last.Time, dur)
+	}
+	for i, s := range samples[:len(samples)-1] {
+		want := 0 + float64(i)*period
+		if s.Time != want {
+			t.Fatalf("sample %d at %v, want exactly %v (grid drift)", i, s.Time, want)
+		}
+	}
+	// No near-duplicate penultimate sample: the gap before the endpoint
+	// must be a meaningful fraction of a period, not accumulated float
+	// fuzz.
+	gap := last.Time - samples[len(samples)-2].Time
+	if gap < period/2 {
+		t.Fatalf("penultimate sample %v from endpoint (< period/2 = %v)", gap, period/2)
+	}
+}
+
+// TestMeasureNonIntegerPeriodLongWindow pins exact grid times and counts
+// for a non-integer period over a multi-hour window: 0.3 s over 4 h is
+// 48000 grid samples in [0, b) plus the endpoint.
+func TestMeasureNonIntegerPeriodLongWindow(t *testing.T) {
+	const dur = 4 * 3600.0
+	period := 0.3
+	m, err := New(Spec{SamplePeriod: period}, rng.New(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := flatTrace(t, 100, dur)
+	measured, err := m.Measure(tr, 0, dur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 14400/0.3 = 48000 grid points (the one at exactly b is deferred to
+	// the endpoint sample), so 48000 + 1 reported samples.
+	if measured.Len() != 48001 {
+		t.Fatalf("sample count = %d, want 48001", measured.Len())
+	}
+	samples := measured.Samples()
+	for i, s := range samples[:len(samples)-1] {
+		if want := float64(i) * period; s.Time != want {
+			t.Fatalf("sample %d at %v, want exactly %v", i, s.Time, want)
+		}
+	}
+	if samples[len(samples)-1].Time != dur {
+		t.Fatalf("final sample at %v, want %v", samples[len(samples)-1].Time, dur)
+	}
+}
+
+// TestMeasureIntegerGridNoEndpointDuplicate checks the endpoint dedup on
+// an exactly-divisible window: the grid point at b is deferred to the
+// endpoint sample, never duplicated beside it.
+func TestMeasureIntegerGridNoEndpointDuplicate(t *testing.T) {
+	m, err := New(Spec{SamplePeriod: 2.5}, rng.New(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := flatTrace(t, 100, 10)
+	measured, err := m.Measure(tr, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Grid 0, 2.5, 5, 7.5 plus endpoint 10 — not a duplicated 10.
+	if measured.Len() != 5 {
+		t.Fatalf("sample count = %d, want 5", measured.Len())
+	}
+}
+
+// TestQuantizerRoundsHalfAwayFromZero is the regression test for the
+// int64-truncation quantizer. The old float64(int64(v/q+0.5))*q idiom
+// failed two ways: values whose v/q+0.5 exceeds int64 range collapsed
+// to an implementation-defined integer (0 on amd64) instead of the
+// nearest step, and negative excursions rounded half-up instead of half
+// away from zero.
+func TestQuantizerRoundsHalfAwayFromZero(t *testing.T) {
+	r := rng.New(14)
+	cases := []struct {
+		v, q, want float64
+	}{
+		{v: 503, q: 10, want: 500},
+		{v: 505, q: 10, want: 510},      // half rounds away from zero
+		{v: 2e16, q: 0.001, want: 2e16}, // old int64 path overflowed to 0
+		{v: 0.0004, q: 0.001, want: 0},
+		{v: 0.0005, q: 0.001, want: 0.001},
+		{v: -3, q: 10, want: 0}, // negative rounds toward 0 step, then clamps
+	}
+	for _, c := range cases {
+		got := float64(pipeline(c.v, 1, 0, c.q, r))
+		if got != c.want {
+			t.Errorf("pipeline(%v, q=%v) = %v, want %v", c.v, c.q, got, c.want)
+		}
+	}
+	// Negative zero never leaks out of the pipeline: a tiny negative
+	// value rounds to -0 under math.Round; the clamp must normalize it.
+	if got := float64(pipeline(-1e-300, 1, 0, 0.001, r)); math.Signbit(got) {
+		t.Errorf("pipeline leaked negative zero")
+	}
+}
+
+func TestMeasureRejectsPathologicalPeriod(t *testing.T) {
+	m, err := New(Spec{SamplePeriod: 1e-9}, rng.New(15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := flatTrace(t, 100, 1000)
+	if _, err := m.Measure(tr, 0, 1000); err == nil {
+		t.Error("window needing 1e12 samples accepted")
+	}
+}
+
+// failingInstrument always errors, standing in for a meter whose PDU
+// went dark.
+type failingInstrument struct{}
+
+func (failingInstrument) AveragePower(tr *power.Trace, a, b float64) (power.Watts, error) {
+	return 0, errTestDark
+}
+
+var errTestDark = errors.New("meter dark")
+
+func TestAverageSumBestEffortCompleteness(t *testing.T) {
+	r := rng.New(16)
+	p, err := NewPool(4, Spec{SamplePeriod: 1}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces := make([]*power.Trace, 4)
+	for i := range traces {
+		traces[i] = flatTrace(t, 250, 20)
+	}
+
+	// All instruments healthy: bit-identical to AverageSum, complete.
+	insts := p.Instruments()
+	sum, comp, err := AverageSumBestEffort(insts, traces, 0, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := p.AverageSum(traces, 0, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum != plain {
+		t.Errorf("healthy best-effort sum %v != AverageSum %v", sum, plain)
+	}
+	if !comp.Complete() || comp.Fraction != 1 || comp.Failed != 0 || comp.Instruments != 4 {
+		t.Errorf("healthy completeness = %+v", comp)
+	}
+
+	// One dark instrument: 3 of 4 deliver 250 W each; the sum scales by
+	// 4/3 back to the full 1000 W estimate and completeness reports 3/4.
+	insts[2] = failingInstrument{}
+	sum, comp, err = AverageSumBestEffort(insts, traces, 0, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(sum)-1000) > 1e-9 {
+		t.Errorf("degraded best-effort sum = %v, want 1000", sum)
+	}
+	if comp.Complete() || comp.Failed != 1 || comp.Fraction != 0.75 {
+		t.Errorf("degraded completeness = %+v", comp)
+	}
+
+	// All dark: error, fraction 0.
+	for i := range insts {
+		insts[i] = failingInstrument{}
+	}
+	_, comp, err = AverageSumBestEffort(insts, traces, 0, 20)
+	if err == nil {
+		t.Error("all-dark pool returned a sum")
+	}
+	if comp.Fraction != 0 || comp.Failed != 4 {
+		t.Errorf("all-dark completeness = %+v", comp)
 	}
 }

@@ -111,6 +111,12 @@ type Options struct {
 	Placement WindowPlacement
 	// Meter is the instrument spec (default meter.Reference).
 	Meter meter.Spec
+	// Model, when non-nil, selects the metering architecture and
+	// overrides Meter. The model's own cadence (read period, read-out
+	// bucket) governs sampling — the level spec's SamplePeriod is not
+	// imposed on it, because that gap is exactly the distortion the
+	// model comparison quantifies.
+	Model meter.Model
 	// BiasLowPowerNodes selects the lowest-power nodes instead of a
 	// random subset — the VID-screening gaming described in Section 5.
 	BiasLowPowerNodes bool
@@ -157,14 +163,25 @@ func Measure(t Target, spec Spec, opts Options) (*Measurement, error) {
 		return nil, err
 	}
 	r := rng.New(opts.Seed)
-	mspec := opts.Meter
-	if mspec == (meter.Spec{}) {
-		mspec = meter.Reference
+	var inst meter.Sampler
+	var err error
+	if opts.Model != nil {
+		// Instrument randomness (calibration, window phase, per-reading
+		// noise) comes from a derived stream so r's draws — window
+		// placement and node-subset choice — are identical across models
+		// under one seed: a model comparison then isolates metering
+		// architecture instead of confounding it with subset luck.
+		inst, err = opts.Model.NewInstrument(rng.New(opts.Seed ^ 0x6d65746572))
+	} else {
+		mspec := opts.Meter
+		if mspec == (meter.Spec{}) {
+			mspec = meter.Reference
+		}
+		if spec.SamplePeriod > 0 {
+			mspec.SamplePeriod = spec.SamplePeriod
+		}
+		inst, err = meter.New(mspec, r)
 	}
-	if spec.SamplePeriod > 0 {
-		mspec.SamplePeriod = spec.SamplePeriod
-	}
-	inst, err := meter.New(mspec, r)
 	if err != nil {
 		return nil, err
 	}

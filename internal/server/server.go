@@ -37,12 +37,12 @@ import (
 // registry, so a nodevard manifest and /debug/metrics expose the same
 // names the CLI tools already emit.
 var (
-	mRequests  = obs.NewCounter("server.requests")
-	mShed      = obs.NewCounter("server.shed")
-	mErrors    = obs.NewCounter("server.errors_5xx")
-	mPanics    = obs.NewCounter("server.panics_recovered")
-	gInflight  = obs.NewGauge("server.inflight")
-	hLatency   = obs.NewHistogram("server.request_seconds", latencyBuckets)
+	mRequests       = obs.NewCounter("server.requests")
+	mShed           = obs.NewCounter("server.shed")
+	mErrors         = obs.NewCounter("server.errors_5xx")
+	mPanics         = obs.NewCounter("server.panics_recovered")
+	gInflight       = obs.NewGauge("server.inflight")
+	hLatency        = obs.NewHistogram("server.request_seconds", latencyBuckets)
 	mCacheHits      = obs.NewCounter("server.cache.hits")
 	mCacheMisses    = obs.NewCounter("server.cache.misses")
 	mCacheCoalesced = obs.NewCounter("server.cache.coalesced")
@@ -76,6 +76,12 @@ type Config struct {
 	// population-sized buffers), so this is a cheap sanity bound on
 	// nonsensical requests, not an OOM defense. Default 1e9.
 	MaxPopulation int
+	// MaxDistortionNodes rejects /v1/distortion requests asking to
+	// simulate more cluster nodes than the operator allows. Unlike
+	// coverage's population, a distortion study materializes one power
+	// trace per node, so this cap bounds real memory and CPU. Default
+	// 256.
+	MaxDistortionNodes int
 	// CacheEntries caps the completed-result cache; the oldest entry is
 	// evicted first. Default 128.
 	CacheEntries int
@@ -141,6 +147,8 @@ var defaultSLOTargets = map[string]float64{
 	"table5":           0.25,
 	"rules":            0.25,
 	"coverage":         30,
+	"meters":           0.25,
+	"distortion":       30,
 	"ingest":           0.25,
 	"fleet_stats":      0.25,
 	"fleet_samplesize": 0.25,
@@ -229,6 +237,9 @@ func New(cfg Config) *Server {
 	if cfg.MaxPopulation <= 0 {
 		cfg.MaxPopulation = 1_000_000_000
 	}
+	if cfg.MaxDistortionNodes <= 0 {
+		cfg.MaxDistortionNodes = 256
+	}
 	if cfg.CacheEntries <= 0 {
 		cfg.CacheEntries = 128
 	}
@@ -285,6 +296,8 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("GET /v1/table5", api("table5", s.handleTable5))
 	mux.Handle("GET /v1/rules", api("rules", s.handleRules))
 	mux.Handle("POST /v1/coverage", api("coverage", s.handleCoverage))
+	mux.Handle("GET /v1/meters", api("meters", s.handleMeters))
+	mux.Handle("POST /v1/distortion", api("distortion", s.handleDistortion))
 	mux.Handle("POST /v1/ingest", api("ingest", s.handleIngest))
 	mux.Handle("GET /v1/fleet/{id}/stats", api("fleet_stats", s.handleFleetStats))
 	mux.Handle("GET /v1/fleet/{id}/samplesize", api("fleet_samplesize", s.handleFleetSampleSize))

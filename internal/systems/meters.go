@@ -1,0 +1,97 @@
+package systems
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"nodevar/internal/meter"
+)
+
+// MeterPreset is a named metering architecture a site might plausibly
+// submit measurements through. Presets pair the meter models in
+// internal/meter with concrete parameter choices drawn from their
+// source characterizations, so CLIs and the server can select a full
+// instrument stack by key.
+type MeterPreset struct {
+	// Key selects the preset (CLI flags, API fields).
+	Key string
+	// Description is a one-line summary for listings.
+	Description string
+	// Model is the configured meter architecture.
+	Model meter.Model
+}
+
+// meterPresets is the catalog. Parameter provenance:
+//   - reference: the methodology's ideal 1 Hz instrument.
+//   - revenue: a revenue-grade external meter — the paper cites 1-1.5%
+//     equipment variance; 1% gain CV, small per-sample noise, 1 W
+//     register.
+//   - windowed: nvidia-smi idiom (arXiv:2312.02741): driver refreshes
+//     roughly every 10 s on datacenter GPUs of that era, each value a
+//     short (~1 s) boxcar average, start phase uncontrolled.
+//   - occ: on-chip controller idiom (arXiv:2304.12646): 1 s read-out
+//     buckets accumulated from kHz-rate internal sampling, ~1%
+//     sensor-calibration systematic, ±0.5% per-reading envelope,
+//     integer-ish read-out register (2 W).
+var meterPresets = []MeterPreset{
+	{
+		Key:         "reference",
+		Description: "ideal 1 Hz periodic sampler (no gain error, noise or quantization)",
+		Model:       meter.Reference,
+	},
+	{
+		Key:         "revenue",
+		Description: "revenue-grade external meter: 1% gain CV, 0.2% sample noise, 1 W register, 1 Hz",
+		Model: meter.Spec{
+			GainErrorCV:     0.01,
+			NoiseCV:         0.002,
+			ResolutionWatts: 1,
+			SamplePeriod:    1,
+		},
+	},
+	{
+		Key:         "windowed",
+		Description: "nvidia-smi-style intermittent sampler: 10 s reads of a 1 s boxcar, jittered phase",
+		Model: meter.WindowedSpec{
+			Period:          10,
+			Window:          1,
+			PhaseJitter:     true,
+			NoiseCV:         0.005,
+			ResolutionWatts: 1,
+		},
+	},
+	{
+		Key:         "occ",
+		Description: "on-chip controller: exact 1 s bucket accumulation, 1% calibration, ±0.5% envelope, 2 W read-out",
+		Model: meter.OCCSpec{
+			BucketSeconds:          1,
+			GainErrorCV:            0.01,
+			EnvelopeFrac:           0.005,
+			ReadoutResolutionWatts: 2,
+		},
+	},
+}
+
+// MeterPresets returns the catalog sorted by key.
+func MeterPresets() []MeterPreset {
+	out := make([]MeterPreset, len(meterPresets))
+	copy(out, meterPresets)
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// MeterByKey finds a meter preset.
+func MeterByKey(key string) (MeterPreset, error) {
+	for _, p := range meterPresets {
+		if p.Key == key {
+			return p, nil
+		}
+	}
+	keys := make([]string, len(meterPresets))
+	for i, p := range meterPresets {
+		keys[i] = p.Key
+	}
+	sort.Strings(keys)
+	return MeterPreset{}, fmt.Errorf("systems: unknown meter preset %q (have %s)", key, strings.Join(keys, ", "))
+}

@@ -157,8 +157,18 @@ type Phased struct {
 // Name returns the core workload's name.
 func (w *Phased) Name() string { return w.Core.Name() }
 
-// CoreDuration returns the total duration including setup and teardown.
+// CoreDuration returns the core-phase length, honoring the Workload
+// contract: setup and teardown are excluded. (It previously returned
+// setup+core+teardown, so any generic consumer computing a measurement
+// window from CoreDuration on a Phased got a window spanning the
+// non-core phases too.)
 func (w *Phased) CoreDuration() float64 {
+	return w.Core.CoreDuration()
+}
+
+// TotalDuration returns the full job span including setup and teardown —
+// what a simulator must cover to produce the whole trace.
+func (w *Phased) TotalDuration() float64 {
 	return w.Setup + w.Core.CoreDuration() + w.Teardown
 }
 
@@ -171,7 +181,7 @@ func (w *Phased) CoreWindow() (start, end float64) {
 // Utilization returns the setup/teardown level outside the core phase and
 // the core workload's utilization inside it.
 func (w *Phased) Utilization(t float64) float64 {
-	if t < 0 || t >= w.CoreDuration() {
+	if t < 0 || t >= w.TotalDuration() {
 		return 0
 	}
 	start, end := w.CoreWindow()

@@ -128,8 +128,14 @@ func TestPhased(t *testing.T) {
 		t.Fatal(err)
 	}
 	p := &Phased{Core: core, Setup: 100, Teardown: 50, NonCoreUtilLevel: 0.1}
-	if got := p.CoreDuration(); math.Abs(got-(run.CoreDuration+150)) > 1e-9 {
-		t.Errorf("phased duration = %v", got)
+	// CoreDuration honors the Workload contract: the core phase alone.
+	// (It used to return setup+core+teardown, so a generic consumer
+	// deriving a measurement window from it spanned the non-core phases.)
+	if got := p.CoreDuration(); math.Abs(got-run.CoreDuration) > 1e-9 {
+		t.Errorf("phased core duration = %v, want %v", got, run.CoreDuration)
+	}
+	if got := p.TotalDuration(); math.Abs(got-(run.CoreDuration+150)) > 1e-9 {
+		t.Errorf("phased total duration = %v, want %v", got, run.CoreDuration+150)
 	}
 	start, end := p.CoreWindow()
 	if start != 100 || math.Abs(end-(100+run.CoreDuration)) > 1e-12 {

@@ -125,6 +125,7 @@ const (
 	ExpFigure4 = core.Figure4
 	ExpGaming  = core.Gaming
 	ExpRules   = core.Rules
+	ExpMeters  = core.Meters
 )
 
 // RequiredSampleSize returns the number of nodes that must be measured to

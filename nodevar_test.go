@@ -144,7 +144,7 @@ func TestFacadeVIDStudy(t *testing.T) {
 }
 
 func TestFacadeExperiments(t *testing.T) {
-	if len(ExperimentIDs()) != 13 {
+	if len(ExperimentIDs()) != 14 {
 		t.Errorf("experiment ids = %v", ExperimentIDs())
 	}
 	var b strings.Builder
